@@ -1,0 +1,52 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-exp all|table1|table2|table3|table4|fig4|fig5|fig6|fig7|fig8|fig9]
+//	            [-scale 0.01] [-threads 16] [-r 70] [-seed N]
+//
+// -scale multiplies every dataset's |D| (1 reproduces the paper's sizes; the
+// default 0.01 keeps a laptop run in minutes). ε values are automatically
+// multiplied by 1/√scale to compensate for the density drop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vdbscan/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: all, "+strings.Join(bench.Experiments, ", "))
+	scale := flag.Float64("scale", 0.01, "dataset size scale factor in (0,1]")
+	threads := flag.Int("threads", 16, "worker pool size T for multithreaded scenarios")
+	r := flag.Int("r", 70, "epsilon-search tree leaf occupancy (points per MBB)")
+	seed := flag.Uint64("seed", 0xDB5CA7, "dataset generation seed")
+	trials := flag.Int("trials", 1, "repetitions averaged per timed measurement (paper: 3)")
+	flag.Parse()
+
+	if *scale <= 0 || *scale > 1 {
+		fmt.Fprintln(os.Stderr, "experiments: -scale must be in (0,1]")
+		os.Exit(2)
+	}
+	s := bench.NewSuite(*scale, os.Stdout)
+	s.Threads = *threads
+	s.R = *r
+	s.Seed = *seed
+	s.Trials = *trials
+
+	fmt.Printf("VariantDBSCAN experiment harness\n")
+	fmt.Printf("scale=%g (eps x%.2f), threads=%d, r=%d, trials=%d, seed=%#x\n",
+		*scale, s.EpsFactor(), s.Threads, s.R, s.Trials, s.Seed)
+
+	start := time.Now()
+	if err := s.Run(*exp); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ncompleted %q in %s\n", *exp, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,78 @@
+package vdbscan_test
+
+import (
+	"fmt"
+
+	"vdbscan"
+)
+
+// grid5 builds a tiny deterministic dataset: two 3x3 grids of unit-spaced
+// points far apart, plus one isolated outlier.
+func grid5() []vdbscan.Point {
+	var pts []vdbscan.Point
+	for _, origin := range []vdbscan.Point{{X: 0, Y: 0}, {X: 100, Y: 100}} {
+		for dx := 0; dx < 3; dx++ {
+			for dy := 0; dy < 3; dy++ {
+				pts = append(pts, vdbscan.Point{X: origin.X + float64(dx), Y: origin.Y + float64(dy)})
+			}
+		}
+	}
+	return append(pts, vdbscan.Point{X: 50, Y: 50})
+}
+
+func ExampleCluster() {
+	res, err := vdbscan.Cluster(grid5(), vdbscan.Params{Eps: 1.5, MinPts: 4})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("clusters:", res.NumClusters)
+	fmt.Println("noise:", res.NumNoise())
+	// Output:
+	// clusters: 2
+	// noise: 1
+}
+
+func ExampleIndex_ClusterVariants() {
+	idx := vdbscan.NewIndex(grid5())
+	run, err := idx.ClusterVariants([]vdbscan.Params{
+		{Eps: 1.5, MinPts: 8}, // strict: requires 8 neighbors
+		{Eps: 1.5, MinPts: 4}, // relaxed: reuses the strict variant's clusters
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, vr := range run.Results {
+		fmt.Printf("%v -> %d clusters (from scratch: %v)\n",
+			vr.Params, vr.Clustering.NumClusters, vr.FromScratch)
+	}
+	// Output:
+	// (1.5, 8) -> 2 clusters (from scratch: true)
+	// (1.5, 4) -> 2 clusters (from scratch: false)
+}
+
+func ExampleCanReuse() {
+	strict := vdbscan.Params{Eps: 0.2, MinPts: 32}
+	relaxed := vdbscan.Params{Eps: 0.6, MinPts: 4}
+	fmt.Println(vdbscan.CanReuse(relaxed, strict))
+	fmt.Println(vdbscan.CanReuse(strict, relaxed))
+	// Output:
+	// true
+	// false
+}
+
+func ExampleQuality() {
+	pts := grid5()
+	idx := vdbscan.NewIndex(pts)
+	a, _ := idx.Cluster(vdbscan.Params{Eps: 1.5, MinPts: 4})
+	q, _ := vdbscan.Quality(a, a)
+	fmt.Printf("%.3f\n", q)
+	// Output:
+	// 1.000
+}
+
+func ExampleCartesianVariants() {
+	vs := vdbscan.CartesianVariants([]float64{0.1, 0.2}, []int{1, 2})
+	fmt.Println(vs)
+	// Output:
+	// [(0.1, 1) (0.1, 2) (0.2, 1) (0.2, 2)]
+}

@@ -1,0 +1,73 @@
+// Earlywarning: a natural-hazard monitoring loop, the application the
+// paper's abstract motivates ("our optimizations ... could enable the short
+// run times required for early warning systems for natural hazards").
+//
+// A TEC field evolves over simulated epochs; each epoch the monitor
+// thresholds a fresh snapshot and sweeps a variant set to detect large
+// disturbance structures. The loop reports per-frame latency and flags
+// frames whose strongest cluster grows abruptly — the "warning".
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vdbscan"
+	"vdbscan/internal/tec"
+)
+
+const (
+	frames        = 6
+	pointsPerSnap = 20_000
+	growthAlarm   = 1.4 // alarm when the dominant structure grows 40%
+)
+
+func main() {
+	params := vdbscan.CartesianVariants([]float64{1.5, 2.5}, []int{4, 8, 16})
+	fmt.Printf("monitoring %d frames, %d variants per frame, %d points each\n\n",
+		frames, len(params), pointsPerSnap)
+	fmt.Printf("%5s %10s %9s %9s %10s %8s  %s\n",
+		"frame", "epoch", "clusters", "dominant", "latency", "reuse", "status")
+
+	prevDominant := 0
+	for frame := 0; frame < frames; frame++ {
+		epoch := float64(frame) * 0.5 // half-hour cadence
+		ds, err := tec.Simulate(tec.Config{
+			N:    pointsPerSnap,
+			Seed: 42, // fixed receiver geometry and field; only Time moves
+			Time: epoch,
+			Name: fmt.Sprintf("frame%d", frame),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		start := time.Now()
+		// Each frame gets its own index (the points moved), but all
+		// variants inside the frame share it and reuse each other.
+		run, err := vdbscan.ClusterVariants(ds.Points, params, vdbscan.WithThreads(4))
+		if err != nil {
+			log.Fatal(err)
+		}
+		latency := time.Since(start)
+
+		// The monitoring signal: the dominant structure under the
+		// mid-scale variant.
+		mid := run.Results[len(run.Results)/2]
+		dominant := 0
+		if sizes := mid.Clustering.TopClusterSizes(1); len(sizes) > 0 {
+			dominant = sizes[0]
+		}
+		status := "nominal"
+		if prevDominant > 0 && float64(dominant) > growthAlarm*float64(prevDominant) {
+			status = "ALERT: dominant structure growing rapidly"
+		}
+		fmt.Printf("%5d %9.1fh %9d %9d %10s %7.0f%%  %s\n",
+			frame, epoch, mid.Clustering.NumClusters, dominant,
+			latency.Round(time.Millisecond), run.MeanFractionReused()*100, status)
+		prevDominant = dominant
+	}
+	fmt.Println("\nthe per-frame latency is the early-warning budget: variant reuse")
+	fmt.Println("lets one frame carry a whole parameter sweep instead of one guess.")
+}

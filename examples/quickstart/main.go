@@ -1,0 +1,59 @@
+// Quickstart: cluster a small synthetic point set with one DBSCAN variant,
+// then run a whole variant grid with VariantDBSCAN and compare.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"vdbscan"
+)
+
+func main() {
+	// Three Gaussian blobs plus uniform background noise.
+	rnd := rand.New(rand.NewSource(1))
+	var points []vdbscan.Point
+	for _, c := range []vdbscan.Point{{X: 10, Y: 10}, {X: 30, Y: 25}, {X: 50, Y: 10}} {
+		for i := 0; i < 400; i++ {
+			points = append(points, vdbscan.Point{
+				X: c.X + rnd.NormFloat64()*1.2,
+				Y: c.Y + rnd.NormFloat64()*1.2,
+			})
+		}
+	}
+	for i := 0; i < 300; i++ {
+		points = append(points, vdbscan.Point{X: rnd.Float64() * 60, Y: rnd.Float64() * 35})
+	}
+
+	// One-shot clustering.
+	res, err := vdbscan.Cluster(points, vdbscan.Params{Eps: 1.0, MinPts: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single run: %d clusters, %d noise points (of %d)\n",
+		res.NumClusters, res.NumNoise(), res.Len())
+	fmt.Printf("largest clusters: %v\n\n", res.TopClusterSizes(3))
+
+	// Variant grid: build the index once, cluster 12 parameterizations.
+	idx := vdbscan.NewIndex(points)
+	params := vdbscan.CartesianVariants(
+		[]float64{0.8, 1.0, 1.5},
+		[]int{4, 8, 16, 32},
+	)
+	start := time.Now()
+	run, err := idx.ClusterVariants(params, vdbscan.WithThreads(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s %9s %7s %8s %7s\n", "variant", "clusters", "noise", "reused", "scratch")
+	for _, vr := range run.Results {
+		fmt.Printf("%-12s %9d %7d %7.1f%% %7v\n",
+			vr.Params.String(), vr.Clustering.NumClusters,
+			vr.Clustering.NumNoise(), vr.FractionReused*100, vr.FromScratch)
+	}
+	fmt.Printf("\n%d variants in %s (mean reuse %.0f%%)\n",
+		len(params), time.Since(start).Round(time.Millisecond),
+		run.MeanFractionReused()*100)
+}

@@ -1,0 +1,3 @@
+module vdbscan
+
+go 1.22

@@ -1,0 +1,250 @@
+package vdbscan
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vdbscan/internal/cluster"
+	"vdbscan/internal/data"
+	"vdbscan/internal/dbscan"
+	"vdbscan/internal/tec"
+)
+
+// Integration tests exercise the full pipeline — generator → grid sort →
+// R-trees → DBSCAN/VariantDBSCAN → quality — across every dataset class.
+
+func TestIntegrationAllDatasetClasses(t *testing.T) {
+	datasets := []*data.Dataset{}
+	for _, cfg := range []data.SynthConfig{
+		{Class: data.ClassCF, N: 4000, NoiseFrac: 0.05, Seed: 1},
+		{Class: data.ClassCF, N: 4000, NoiseFrac: 0.30, Seed: 2},
+		{Class: data.ClassCV, N: 4000, NoiseFrac: 0.15, Seed: 3},
+	} {
+		ds, err := data.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		datasets = append(datasets, ds)
+	}
+	sw, err := tec.Simulate(tec.Config{N: 4000, Seed: 4, Name: "SW-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasets = append(datasets, sw)
+
+	params := CartesianVariants([]float64{8, 12}, []int{4, 8})
+	for _, ds := range datasets {
+		t.Run(ds.Name, func(t *testing.T) {
+			idx := NewIndex(ds.Points)
+			run, err := idx.ClusterVariants(params, WithThreads(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, vr := range run.Results {
+				// Cross-validate against the brute-force O(n²) oracle.
+				oracle, err := dbscan.RunBruteForce(ds.Points, params[i], nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				q, err := Quality(oracle, vr.Clustering)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if q < 0.99 {
+					t.Errorf("%s %v: quality vs brute force = %g", ds.Name, params[i], q)
+				}
+			}
+		})
+	}
+}
+
+func TestIntegrationVariantChainQuality(t *testing.T) {
+	// A long chained sweep (every variant reusable from its predecessor)
+	// must keep quality high at every link — accumulated drift would show
+	// up at the end of the chain.
+	ds, err := data.Generate(data.SynthConfig{Class: data.ClassCV, N: 8000, NoiseFrac: 0.2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := NewIndex(ds.Points)
+	var params []Params
+	for i := 0; i < 10; i++ {
+		params = append(params, Params{Eps: 4 + float64(i)*0.5, MinPts: 24 - 2*i})
+	}
+	run, err := idx.ClusterVariants(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, vr := range run.Results {
+		ref, err := idx.Cluster(params[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := Quality(ref, vr.Clustering)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q < 0.99 {
+			t.Errorf("chain link %d (%v): quality %g", i, params[i], q)
+		}
+	}
+}
+
+func TestIntegrationThreadCountInvariance(t *testing.T) {
+	// The clustering of each variant must be equivalent no matter how many
+	// workers execute the set (scheduling changes reuse sources, not
+	// correctness).
+	ds, err := data.Generate(data.SynthConfig{Class: data.ClassCF, N: 6000, NoiseFrac: 0.1, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := NewIndex(ds.Points)
+	params := CartesianVariants([]float64{5, 8}, []int{4, 16})
+	base, err := idx.ClusterVariants(params, WithThreads(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{2, 8} {
+		run, err := idx.ClusterVariants(params, WithThreads(threads))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range params {
+			q, err := Quality(base.Results[i].Clustering, run.Results[i].Clustering)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q < 0.99 {
+				t.Errorf("T=%d variant %v: quality vs T=1 = %g", threads, params[i], q)
+			}
+		}
+	}
+}
+
+func TestIntegrationFailureInjection(t *testing.T) {
+	// Degenerate inputs must not crash or mislabel.
+	t.Run("empty", func(t *testing.T) {
+		run, err := ClusterVariants(nil, CartesianVariants([]float64{1}, []int{4}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.Results[0].Clustering.Len() != 0 {
+			t.Error("empty input should give empty labels")
+		}
+	})
+	t.Run("single-point", func(t *testing.T) {
+		res, err := Cluster([]Point{{X: 1, Y: 1}}, Params{Eps: 1, MinPts: 2})
+		if err != nil || res.Labels[0] != Noise {
+			t.Errorf("single point: %v %v", res, err)
+		}
+	})
+	t.Run("all-duplicates", func(t *testing.T) {
+		pts := make([]Point, 100)
+		for i := range pts {
+			pts[i] = Point{X: 7, Y: 7}
+		}
+		res, err := Cluster(pts, Params{Eps: 0.5, MinPts: 4})
+		if err != nil || res.NumClusters != 1 || res.NumNoise() != 0 {
+			t.Errorf("duplicates: %v %v", res, err)
+		}
+	})
+	t.Run("collinear", func(t *testing.T) {
+		pts := make([]Point, 50)
+		for i := range pts {
+			pts[i] = Point{X: float64(i), Y: 42}
+		}
+		res, err := Cluster(pts, Params{Eps: 1.5, MinPts: 3})
+		if err != nil || res.NumClusters != 1 {
+			t.Errorf("collinear: %v %v", res, err)
+		}
+	})
+	t.Run("nan-coordinates", func(t *testing.T) {
+		pts := []Point{{X: math.NaN(), Y: 1}, {X: 1, Y: 1}, {X: 1.1, Y: 1}, {X: 1.2, Y: 1}}
+		res, err := Cluster(pts, Params{Eps: 0.5, MinPts: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Labels[0] != Noise {
+			t.Error("NaN point should be noise")
+		}
+	})
+	t.Run("huge-eps", func(t *testing.T) {
+		pts := []Point{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 2}}
+		res, err := Cluster(pts, Params{Eps: 1e9, MinPts: 3})
+		if err != nil || res.NumClusters != 1 {
+			t.Errorf("huge eps: %v %v", res, err)
+		}
+	})
+	t.Run("fewer-variants-than-threads", func(t *testing.T) {
+		pts := []Point{{X: 0, Y: 0}, {X: 0.1, Y: 0}, {X: 0.2, Y: 0}}
+		run, err := ClusterVariants(pts, CartesianVariants([]float64{1}, []int{2}), WithThreads(64))
+		if err != nil || len(run.Results) != 1 {
+			t.Errorf("tiny V: %v %v", run, err)
+		}
+	})
+}
+
+// Property: for any random blob layout, reuse across a random compatible
+// parameter pair preserves the noise count and cluster count.
+func TestQuickReuseEquivalence(t *testing.T) {
+	f := func(seed uint64, epsBump uint8, mpDrop uint8) bool {
+		ds, err := data.Generate(data.SynthConfig{
+			Class: data.ClassCV, N: 1500, NoiseFrac: 0.2, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		idx := NewIndex(ds.Points)
+		base := Params{Eps: 6, MinPts: 12}
+		target := Params{
+			Eps:    base.Eps + float64(epsBump%8),
+			MinPts: base.MinPts - int(mpDrop%9),
+		}
+		if target.MinPts < 1 {
+			target.MinPts = 1
+		}
+		run, err := idx.ClusterVariants([]Params{base, target})
+		if err != nil {
+			return false
+		}
+		ref, err := idx.Cluster(target)
+		if err != nil {
+			return false
+		}
+		got := run.Results[1].Clustering
+		if got.NumClusters != ref.NumClusters {
+			return false
+		}
+		// Border ties can shift a few points between clusters but noise
+		// status is stable on these layouts.
+		return got.NumNoise() == ref.NumNoise()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quality of a result against itself is always exactly 1.
+func TestQuickQualityReflexive(t *testing.T) {
+	f := func(labels []int8) bool {
+		r := cluster.NewResult(len(labels))
+		max := int32(0)
+		for i, l := range labels {
+			v := int32(l % 5)
+			if v <= 0 {
+				v = cluster.Noise
+			}
+			r.Labels[i] = v
+			if v > max {
+				max = v
+			}
+		}
+		r.NumClusters = int(max)
+		q, err := Quality(r, r)
+		return err == nil && q == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

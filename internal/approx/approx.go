@@ -1,0 +1,173 @@
+// Package approx implements ρ-approximate DBSCAN in the spirit of Gan &
+// Tao (SIGMOD 2015, the paper's reference [9]) and the approximate
+// clustering thread the paper cites via Pardicle [15].
+//
+// Exact DBSCAN spends most of its time distance-filtering candidate
+// points. ρ-approximate DBSCAN skips the filter: points are bucketed into
+// a grid of cell side ε·ρ/√2, and a query's neighborhood is every point in
+// every cell whose nearest corner is within ε. A cell's diagonal is ε·ρ,
+// so every accepted point lies within ε·(1+ρ) — giving the sandwich
+// guarantee
+//
+//	DBSCAN(ε) ⊆ ApproxDBSCAN(ε, ρ) ⊆ DBSCAN(ε·(1+ρ))
+//
+// in the sense that every exact-ε density connection is preserved and no
+// connection beyond ε·(1+ρ) is invented. Smaller ρ tightens the result and
+// raises the cell count per query (≈ 2π/ρ² + O(1/ρ) cells).
+package approx
+
+import (
+	"fmt"
+	"math"
+
+	"vdbscan/internal/cluster"
+	"vdbscan/internal/dbscan"
+	"vdbscan/internal/geom"
+	"vdbscan/internal/metrics"
+)
+
+// Params are the approximate DBSCAN inputs.
+type Params struct {
+	// Eps and MinPts are the DBSCAN parameters.
+	Eps    float64
+	MinPts int
+	// Rho is the approximation slack: neighborhoods may include points up
+	// to Eps·(1+Rho) away. Must be in (0, 1].
+	Rho float64
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if err := (dbscan.Params{Eps: p.Eps, MinPts: p.MinPts}).Validate(); err != nil {
+		return err
+	}
+	if p.Rho <= 0 || p.Rho > 1 {
+		return fmt.Errorf("approx: rho must be in (0,1], got %g", p.Rho)
+	}
+	return nil
+}
+
+// Index is the ρ-grid over a point set.
+type Index struct {
+	pts     []geom.Point
+	side    float64
+	originX float64
+	originY float64
+	cols    int
+	rows    int
+	cells   map[int64][]int32
+	reach   int // cells to scan in each direction
+	eps     float64
+}
+
+// Build buckets pts for the given parameters.
+func Build(pts []geom.Point, p Params) (*Index, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	side := p.Eps * p.Rho / math.Sqrt2
+	ix := &Index{
+		pts:   pts,
+		side:  side,
+		cells: make(map[int64][]int32),
+		reach: int(math.Ceil(p.Eps/side)) + 1,
+		eps:   p.Eps,
+	}
+	if len(pts) == 0 {
+		return ix, nil
+	}
+	b := geom.MBBOfPoints(pts)
+	ix.originX, ix.originY = b.MinX, b.MinY
+	ix.cols = int((b.MaxX-b.MinX)/side) + 1
+	ix.rows = int((b.MaxY-b.MinY)/side) + 1
+	for i, pt := range pts {
+		ix.cells[ix.key(pt)] = append(ix.cells[ix.key(pt)], int32(i))
+	}
+	return ix, nil
+}
+
+func (ix *Index) key(p geom.Point) int64 {
+	col := int64((p.X - ix.originX) / ix.side)
+	row := int64((p.Y - ix.originY) / ix.side)
+	return row<<32 | (col & 0xFFFFFFFF)
+}
+
+// neighborhood appends every point in cells whose nearest corner is within
+// eps of q. No per-point distance filter — that is the approximation.
+func (ix *Index) neighborhood(q geom.Point, m *metrics.Counters, dst []int32) []int32 {
+	col := int((q.X - ix.originX) / ix.side)
+	row := int((q.Y - ix.originY) / ix.side)
+	epsSq := ix.eps * ix.eps
+	cellsVisited := int64(0)
+	for dr := -ix.reach; dr <= ix.reach; dr++ {
+		for dc := -ix.reach; dc <= ix.reach; dc++ {
+			c, r := col+dc, row+dr
+			cellBox := geom.MBB{
+				MinX: ix.originX + float64(c)*ix.side,
+				MinY: ix.originY + float64(r)*ix.side,
+				MaxX: ix.originX + float64(c+1)*ix.side,
+				MaxY: ix.originY + float64(r+1)*ix.side,
+			}
+			if cellBox.MinDistSq(q) > epsSq {
+				continue
+			}
+			cellsVisited++
+			key := int64(r)<<32 | (int64(c) & 0xFFFFFFFF)
+			dst = append(dst, ix.cells[key]...)
+		}
+	}
+	m.AddNeighborSearches(1)
+	m.AddCandidatesExamined(cellsVisited)
+	m.AddNeighborsFound(int64(len(dst)))
+	return dst
+}
+
+// Run executes ρ-approximate DBSCAN; labels are in the input point order.
+// m may be nil.
+func Run(pts []geom.Point, p Params, m *metrics.Counters) (*cluster.Result, error) {
+	ix, err := Build(pts, p)
+	if err != nil {
+		return nil, err
+	}
+	n := len(pts)
+	res := cluster.NewResult(n)
+	visited := make([]bool, n)
+	var cid int32
+	queue := make([]int32, 0, 1024)
+	var scratch []int32
+	absorb := func(neighbors []int32, cid int32) {
+		for _, k := range neighbors {
+			if !visited[k] {
+				visited[k] = true
+				queue = append(queue, k)
+			}
+			if res.Labels[k] <= 0 {
+				res.Labels[k] = cid
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		scratch = ix.neighborhood(pts[i], m, scratch[:0])
+		if len(scratch) < p.MinPts {
+			res.Labels[i] = cluster.Noise
+			continue
+		}
+		cid++
+		res.Labels[i] = cid
+		queue = queue[:0]
+		absorb(scratch, cid)
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			scratch = ix.neighborhood(pts[j], m, scratch[:0])
+			if len(scratch) >= p.MinPts {
+				absorb(scratch, cid)
+			}
+		}
+	}
+	res.NumClusters = int(cid)
+	return res, nil
+}

@@ -1,0 +1,174 @@
+package approx
+
+import (
+	"math/rand"
+	"testing"
+
+	"vdbscan/internal/cluster"
+	"vdbscan/internal/dbscan"
+	"vdbscan/internal/geom"
+	"vdbscan/internal/metrics"
+)
+
+func blobs(k, m, noise int, extent, sigma float64, seed int64) []geom.Point {
+	rnd := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, 0, k*m+noise)
+	for c := 0; c < k; c++ {
+		cx, cy := rnd.Float64()*extent, rnd.Float64()*extent
+		for i := 0; i < m; i++ {
+			pts = append(pts, geom.Point{
+				X: cx + rnd.NormFloat64()*sigma,
+				Y: cy + rnd.NormFloat64()*sigma,
+			})
+		}
+	}
+	for i := 0; i < noise; i++ {
+		pts = append(pts, geom.Point{X: rnd.Float64() * extent, Y: rnd.Float64() * extent})
+	}
+	return pts
+}
+
+func TestParamsValidate(t *testing.T) {
+	for _, bad := range []Params{
+		{Eps: 0, MinPts: 4, Rho: 0.1},
+		{Eps: 1, MinPts: 0, Rho: 0.1},
+		{Eps: 1, MinPts: 4, Rho: 0},
+		{Eps: 1, MinPts: 4, Rho: 1.5},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%+v accepted", bad)
+		}
+	}
+	if err := (Params{Eps: 1, MinPts: 4, Rho: 0.5}).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeighborhoodSandwich(t *testing.T) {
+	pts := blobs(2, 300, 100, 20, 0.6, 1)
+	p := Params{Eps: 0.8, MinPts: 4, Rho: 0.25}
+	ix, err := Build(pts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		q := pts[rnd.Intn(len(pts))]
+		got := len(ix.neighborhood(q, nil, nil))
+		lower, upper := 0, 0
+		for _, r := range pts {
+			d := q.DistSq(r)
+			if d <= p.Eps*p.Eps {
+				lower++
+			}
+			if d <= p.Eps*(1+p.Rho)*p.Eps*(1+p.Rho) {
+				upper++
+			}
+		}
+		if got < lower || got > upper {
+			t.Fatalf("neighborhood %d outside sandwich [%d, %d]", got, lower, upper)
+		}
+	}
+}
+
+func TestRunSandwichGuarantee(t *testing.T) {
+	pts := blobs(4, 200, 150, 30, 0.7, 3)
+	p := Params{Eps: 0.7, MinPts: 4, Rho: 0.2}
+	got, err := Run(pts, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _ := dbscan.RunBruteForce(pts, dbscan.Params{Eps: p.Eps, MinPts: p.MinPts}, nil)
+	relaxed, _ := dbscan.RunBruteForce(pts, dbscan.Params{Eps: p.Eps * (1 + p.Rho), MinPts: p.MinPts}, nil)
+
+	// Noise ordering: noise(eps(1+rho)) <= noise(approx) <= noise(eps).
+	if !(relaxed.NumNoise() <= got.NumNoise() && got.NumNoise() <= exact.NumNoise()) {
+		t.Errorf("noise sandwich violated: %d <= %d <= %d",
+			relaxed.NumNoise(), got.NumNoise(), exact.NumNoise())
+	}
+	// Every exact-clustered point stays clustered.
+	for i := range pts {
+		if exact.Labels[i] > 0 && got.Labels[i] <= 0 {
+			t.Fatalf("point %d clustered exactly but approx-noise", i)
+		}
+	}
+	// Cluster count between the two exact runs.
+	if !(relaxed.NumClusters <= got.NumClusters && got.NumClusters <= exact.NumClusters) {
+		t.Errorf("cluster sandwich violated: %d <= %d <= %d",
+			relaxed.NumClusters, got.NumClusters, exact.NumClusters)
+	}
+	// Approx must never split an exact cluster: points sharing an exact
+	// cluster share an approx cluster.
+	repr := map[int32]int32{}
+	for i := range pts {
+		e, a := exact.Labels[i], got.Labels[i]
+		if e <= 0 {
+			continue
+		}
+		if prev, ok := repr[e]; ok {
+			if prev != a {
+				t.Fatalf("exact cluster %d split across approx clusters %d and %d", e, prev, a)
+			}
+		} else {
+			repr[e] = a
+		}
+	}
+}
+
+func TestSmallerRhoTightens(t *testing.T) {
+	pts := blobs(3, 200, 100, 25, 0.6, 4)
+	exact, _ := dbscan.RunBruteForce(pts, dbscan.Params{Eps: 0.7, MinPts: 4}, nil)
+	prevDisagree := -1
+	for _, rho := range []float64{0.5, 0.2, 0.05} {
+		got, err := Run(pts, Params{Eps: 0.7, MinPts: 4, Rho: rho}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := cluster.DisagreementCount(exact, got)
+		if prevDisagree >= 0 && d > prevDisagree+len(pts)/100 {
+			t.Errorf("rho=%g disagreement %d much worse than looser rho (%d)", rho, d, prevDisagree)
+		}
+		prevDisagree = d
+	}
+	// At rho=0.05 the result should be nearly exact.
+	got, _ := Run(pts, Params{Eps: 0.7, MinPts: 4, Rho: 0.05}, nil)
+	if d := cluster.DisagreementCount(exact, got); d > len(pts)/50 {
+		t.Errorf("rho=0.05 disagreements = %d", d)
+	}
+}
+
+func TestRunEdgeCases(t *testing.T) {
+	if _, err := Run(nil, Params{Eps: 1, MinPts: 3, Rho: 0.5}, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run([]geom.Point{{X: 1, Y: 1}}, Params{Eps: 1, MinPts: 2, Rho: 0.5}, nil)
+	if err != nil || res.NumNoise() != 1 {
+		t.Fatalf("single: %v %v", res, err)
+	}
+	// Duplicates form one cluster.
+	dup := make([]geom.Point, 20)
+	for i := range dup {
+		dup[i] = geom.Point{X: 3, Y: 3}
+	}
+	res, _ = Run(dup, Params{Eps: 0.5, MinPts: 4, Rho: 0.3}, nil)
+	if res.NumClusters != 1 || res.NumClustered() != 20 {
+		t.Fatalf("duplicates: %v", res)
+	}
+}
+
+func TestMetricsCellsNotPoints(t *testing.T) {
+	pts := blobs(2, 300, 50, 15, 0.5, 5)
+	var m metrics.Counters
+	if _, err := Run(pts, Params{Eps: 0.6, MinPts: 4, Rho: 0.3}, &m); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	if s.NeighborSearches != int64(len(pts)) {
+		t.Errorf("searches = %d", s.NeighborSearches)
+	}
+	// The whole point: per query, cells visited is bounded by the rho grid
+	// (~(2*reach+1)^2), far below |D|.
+	if s.CandidatesExamined > s.NeighborSearches*1000 {
+		t.Errorf("cells per query too high: %d", s.CandidatesExamined/s.NeighborSearches)
+	}
+}

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"vdbscan/internal/dbscan"
+	"vdbscan/internal/variant"
+)
+
+// Table I — the sixteen evaluation datasets. The harness prints the paper's
+// |D| next to the generated (scaled) |D|.
+var table1Names = []string{
+	"cF_1M_5N", "cF_100k_5N", "cF_10k_5N",
+	"cF_1M_15N", "cF_1M_30N", "cF_100k_30N", "cF_10k_30N",
+	"cV_1M_5N", "cV_1M_15N", "cV_1M_30N", "cV_100k_30N", "cV_10k_30N",
+	"SW1", "SW2", "SW3", "SW4",
+}
+
+// paperSizes lists Table I's |D| per dataset.
+var paperSizes = map[string]int{
+	"cF_1M_5N": 1_000_000, "cF_100k_5N": 100_000, "cF_10k_5N": 10_000,
+	"cF_1M_15N": 1_000_000, "cF_1M_30N": 1_000_000, "cF_100k_30N": 100_000,
+	"cF_10k_30N": 10_000,
+	"cV_1M_5N":   1_000_000, "cV_1M_15N": 1_000_000, "cV_1M_30N": 1_000_000,
+	"cV_100k_30N": 100_000, "cV_10k_30N": 10_000,
+	"SW1": 1_864_620, "SW2": 3_162_522, "SW3": 4_179_436, "SW4": 5_159_737,
+}
+
+// Table1 regenerates Table I: dataset characteristics.
+func (s *Suite) Table1() error {
+	section(s.Out, "Table I: Characteristics of Datasets")
+	t := newTable("Dataset", "|D| (paper)", "|D| (generated)", "Noise")
+	for _, name := range table1Names {
+		ds, err := s.Dataset(name)
+		if err != nil {
+			return err
+		}
+		noise := "N/A"
+		if ds.NoiseFrac >= 0 {
+			noise = formatFloat(ds.NoiseFrac*100) + "%"
+		}
+		t.add(name, paperSizes[name], ds.Len(), noise)
+	}
+	t.write(s.Out)
+	return nil
+}
+
+// s1Spec is one row of Table II: the dataset and the variant parameters of
+// scenario S1 (16 identical variants, minpts 4).
+type s1Spec struct {
+	dataset       string
+	eps           float64 // paper's ε at full scale
+	paperClusters int     // Table II's cluster count
+}
+
+// s1Specs reproduces Table II.
+var s1Specs = []s1Spec{
+	{"cF_1M_5N", 0.5, 672},
+	{"cF_100k_5N", 4, 200},
+	{"cF_10k_5N", 10, 15},
+	{"cV_1M_30N", 0.5, 74},
+	{"cV_100k_30N", 2, 14802},
+	{"cV_10k_30N", 10, 1},
+	{"SW1", 0.5, 2333},
+}
+
+const (
+	s1MinPts      = 4
+	s1NumVariants = 16
+)
+
+// Table2 regenerates Table II: the S1 parameters with the cluster counts
+// this build produces (simulated substrates cannot match the paper's exact
+// counts; the magnitude comparison is the point).
+func (s *Suite) Table2() error {
+	section(s.Out, "Table II: Scenario 1 (S1)")
+	t := newTable("Dataset", "eps (scaled)", "minpts", "Variants", "Clusters (paper)", "Clusters (measured)")
+	for _, spec := range s1Specs {
+		ds, err := s.Dataset(spec.dataset)
+		if err != nil {
+			return err
+		}
+		ix := s.index(ds, s.R)
+		res, err := dbscan.Run(ix, dbscan.Params{Eps: s.scaleEps(spec.eps), MinPts: s1MinPts}, nil)
+		if err != nil {
+			return err
+		}
+		t.add(spec.dataset, s.scaleEps(spec.eps), s1MinPts, s1NumVariants,
+			spec.paperClusters, res.NumClusters)
+	}
+	t.write(s.Out)
+	return nil
+}
+
+// s2Datasets lists the seven datasets of Table III.
+var s2Datasets = []string{
+	"cF_1M_5N", "cV_1M_5N", "cF_1M_15N", "cV_1M_15N",
+	"cF_1M_30N", "cV_1M_30N", "SW1",
+}
+
+// s2Variants builds Table III's variant set: A = {0.2, 0.4, 0.6},
+// B = {4, 8, ..., 32}, |V| = 24 (ε scaled per suite).
+func (s *Suite) s2Variants() []variant.Variant {
+	A := s.scaleEpsAll([]float64{0.2, 0.4, 0.6})
+	var B []int
+	for mp := 4; mp <= 32; mp += 4 {
+		B = append(B, mp)
+	}
+	return variant.Product(A, B)
+}
+
+// Table3 prints Table III: scenario S2's configuration.
+func (s *Suite) Table3() error {
+	section(s.Out, "Table III: Scenario 2 (S2)")
+	t := newTable("Datasets", "A (eps, scaled)", "B (minpts)", "|V|")
+	vs := s.s2Variants()
+	t.add("cF/cV 1M x {5,15,30}N, SW1",
+		formatFloat(vs[0].Params.Eps)+", "+formatFloat(vs[len(vs)/3].Params.Eps)+", "+formatFloat(vs[2*len(vs)/3].Params.Eps),
+		"{4, 8, ..., 32}", len(vs))
+	t.write(s.Out)
+	return nil
+}
+
+// s3Spec is one Table IV scenario: a dataset paired with variant sets.
+type s3Spec struct {
+	dataset string
+	sets    []string // "V1", "V2", "V3"
+}
+
+// s3Specs reproduces Table IV's dataset/variant-set pairing.
+var s3Specs = []s3Spec{
+	{"SW1", []string{"V1", "V3"}},
+	{"SW2", []string{"V1", "V3"}},
+	{"SW3", []string{"V1", "V3"}},
+	{"SW4", []string{"V2", "V3"}},
+}
+
+// s3Variants builds the named Table IV variant set (ε scaled per suite).
+func (s *Suite) s3Variants(name string) []variant.Variant {
+	var A []float64
+	var B []int
+	switch name {
+	case "V1":
+		A = []float64{0.2, 0.3, 0.4}
+		for mp := 10; mp <= 100; mp += 5 {
+			B = append(B, mp)
+		}
+	case "V2":
+		A = []float64{0.15, 0.25, 0.35}
+		for mp := 10; mp <= 100; mp += 5 {
+			B = append(B, mp)
+		}
+	case "V3":
+		for e := 0.04; e < 0.401; e += 0.02 {
+			A = append(A, e)
+		}
+		B = []int{4, 8, 16}
+	default:
+		panic("bench: unknown S3 variant set " + name)
+	}
+	return variant.Product(s.scaleEpsAll(A), B)
+}
+
+// Table4 prints Table IV: scenario S3's configuration.
+func (s *Suite) Table4() error {
+	section(s.Out, "Table IV: Scenario 3 (S3)")
+	t := newTable("Dataset", "Sets", "|V1|", "|V2|", "|V3|")
+	v1, v2, v3 := s.s3Variants("V1"), s.s3Variants("V2"), s.s3Variants("V3")
+	for _, spec := range s3Specs {
+		t.add(spec.dataset, spec.sets[0]+","+spec.sets[1], len(v1), len(v2), len(v3))
+	}
+	t.write(s.Out)
+	return nil
+}

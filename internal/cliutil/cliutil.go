@@ -1,0 +1,99 @@
+// Package cliutil holds the flag-parsing helpers shared by the command
+// line tools (cmd/vdbscan, cmd/datagen, cmd/experiments).
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vdbscan/internal/reuse"
+	"vdbscan/internal/sched"
+)
+
+// ParseFloats parses a comma-separated list of floats ("0.2, 0.4,0.6").
+// Empty elements are skipped; an empty list is an error.
+func ParseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cliutil: empty float list")
+	}
+	return out, nil
+}
+
+// ParseInts parses a comma-separated list of ints ("4,8,16").
+func ParseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cliutil: empty int list")
+	}
+	return out, nil
+}
+
+// ParseRange parses "lo:hi:step" into the inclusive arithmetic sequence it
+// describes, or falls back to ParseInts for comma lists — convenient for
+// the paper's B = {10, 15, ..., 100} style sets.
+func ParseRange(s string) ([]int, error) {
+	if !strings.Contains(s, ":") {
+		return ParseInts(s)
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("cliutil: range %q, want lo:hi:step", s)
+	}
+	lo, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return nil, fmt.Errorf("cliutil: range lo: %w", err)
+	}
+	hi, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return nil, fmt.Errorf("cliutil: range hi: %w", err)
+	}
+	step, err := strconv.Atoi(strings.TrimSpace(parts[2]))
+	if err != nil {
+		return nil, fmt.Errorf("cliutil: range step: %w", err)
+	}
+	if step <= 0 {
+		return nil, fmt.Errorf("cliutil: range step must be positive, got %d", step)
+	}
+	if hi < lo {
+		return nil, fmt.Errorf("cliutil: range hi %d below lo %d", hi, lo)
+	}
+	var out []int
+	for v := lo; v <= hi; v += step {
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseScheme maps CLI spellings to reuse schemes.
+func ParseScheme(name string) (reuse.Scheme, error) {
+	return reuse.Parse(name)
+}
+
+// ParseStrategy maps CLI spellings to scheduling strategies.
+func ParseStrategy(name string) (sched.Strategy, error) {
+	return sched.Parse(name)
+}

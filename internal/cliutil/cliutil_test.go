@@ -1,0 +1,77 @@
+package cliutil
+
+import (
+	"testing"
+
+	"vdbscan/internal/reuse"
+	"vdbscan/internal/sched"
+)
+
+func TestParseFloats(t *testing.T) {
+	got, err := ParseFloats("0.2, 0.4,0.6")
+	if err != nil || len(got) != 3 || got[0] != 0.2 || got[2] != 0.6 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if _, err := ParseFloats(""); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := ParseFloats("a,b"); err == nil {
+		t.Error("garbage accepted")
+	}
+	if got, _ := ParseFloats("1,,2"); len(got) != 2 {
+		t.Errorf("empty elements should be skipped: %v", got)
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := ParseInts("4,8, 16")
+	if err != nil || len(got) != 3 || got[2] != 16 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if _, err := ParseInts("1.5"); err == nil {
+		t.Error("float accepted as int")
+	}
+	if _, err := ParseInts(" , "); err == nil {
+		t.Error("blank list accepted")
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	got, err := ParseRange("10:100:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 19 || got[0] != 10 || got[18] != 100 {
+		t.Fatalf("paper's B set: %v", got)
+	}
+	// Falls back to comma lists.
+	got, err = ParseRange("4,8,16")
+	if err != nil || len(got) != 3 {
+		t.Fatalf("comma fallback: %v, %v", got, err)
+	}
+	for _, bad := range []string{"1:2", "1:2:3:4", "a:2:1", "1:b:1", "1:9:x", "5:1:1", "1:9:0"} {
+		if _, err := ParseRange(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+	// Single-element range.
+	got, _ = ParseRange("7:7:1")
+	if len(got) != 1 || got[0] != 7 {
+		t.Errorf("degenerate range: %v", got)
+	}
+}
+
+func TestParseSchemeAndStrategy(t *testing.T) {
+	if got, err := ParseScheme("density"); err != nil || got != reuse.ClusDensity {
+		t.Errorf("scheme: %v, %v", got, err)
+	}
+	if _, err := ParseScheme("bogus"); err == nil {
+		t.Error("bad scheme accepted")
+	}
+	if got, err := ParseStrategy("tree"); err != nil || got != sched.SchedTree {
+		t.Errorf("strategy: %v, %v", got, err)
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Error("bad strategy accepted")
+	}
+}

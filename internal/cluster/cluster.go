@@ -1,0 +1,278 @@
+// Package cluster defines the clustering result model shared by DBSCAN,
+// VariantDBSCAN, and the evaluation harness: a per-point label vector plus
+// derived views (per-cluster point lists, cluster MBBs, density measures).
+//
+// Labels use the convention:
+//
+//	Unclassified (0)  — not yet processed (only during execution)
+//	Noise       (-1)  — outlier
+//	1..NumClusters    — cluster membership
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"vdbscan/internal/geom"
+)
+
+// Label values. Cluster IDs are strictly positive.
+const (
+	Unclassified int32 = 0
+	Noise        int32 = -1
+)
+
+// Result is the outcome of clustering n points.
+type Result struct {
+	// Labels[i] is the label of point i in the caller's index space.
+	Labels []int32
+	// NumClusters is the number of distinct positive labels; valid labels
+	// are 1..NumClusters.
+	NumClusters int
+
+	clusters [][]int32 // lazy: clusters[id-1] = point indices
+}
+
+// NewResult returns a Result with n unclassified points.
+func NewResult(n int) *Result {
+	return &Result{Labels: make([]int32, n)}
+}
+
+// Len returns the number of points.
+func (r *Result) Len() int { return len(r.Labels) }
+
+// NumNoise counts points labeled Noise.
+func (r *Result) NumNoise() int {
+	n := 0
+	for _, l := range r.Labels {
+		if l == Noise {
+			n++
+		}
+	}
+	return n
+}
+
+// NumClustered counts points assigned to a cluster.
+func (r *Result) NumClustered() int {
+	n := 0
+	for _, l := range r.Labels {
+		if l > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Clusters groups point indices per cluster; Clusters()[id-1] holds the
+// points of cluster id, each list in ascending point order. The grouping is
+// computed on first use and cached; callers must not mutate the Result's
+// labels afterwards.
+func (r *Result) Clusters() [][]int32 {
+	if r.clusters != nil {
+		return r.clusters
+	}
+	sizes := make([]int, r.NumClusters)
+	for _, l := range r.Labels {
+		if l > 0 {
+			sizes[l-1]++
+		}
+	}
+	r.clusters = make([][]int32, r.NumClusters)
+	for id := range r.clusters {
+		r.clusters[id] = make([]int32, 0, sizes[id])
+	}
+	for i, l := range r.Labels {
+		if l > 0 {
+			r.clusters[l-1] = append(r.clusters[l-1], int32(i))
+		}
+	}
+	return r.clusters
+}
+
+// ClusterPoints returns the point indices of cluster id (1-based).
+func (r *Result) ClusterPoints(id int32) []int32 {
+	return r.Clusters()[id-1]
+}
+
+// ClusterMBB returns the MBB circumscribing cluster id over pts.
+func (r *Result) ClusterMBB(id int32, pts []geom.Point) geom.MBB {
+	b := geom.EmptyMBB()
+	for _, i := range r.ClusterPoints(id) {
+		b = b.ExtendPoint(pts[i])
+	}
+	return b
+}
+
+// Info summarizes one cluster for the reuse heuristics (paper §IV-C).
+type Info struct {
+	ID      int32
+	Size    int
+	MBB     geom.MBB
+	Area    float64 // MBB area, floored at a small epsilon to avoid div-by-zero
+	Density float64 // |C| / area          (CLUSDENSITY measure)
+	PtsSq   float64 // |C|² / area         (CLUSPTSSQUARED measure)
+}
+
+// minArea floors degenerate cluster MBBs (single points, collinear points)
+// so density measures stay finite. The value is far below any meaningful
+// cluster extent in degree-scaled data.
+const minArea = 1e-9
+
+// Infos computes the per-cluster summaries in cluster-ID order.
+func (r *Result) Infos(pts []geom.Point) []Info {
+	clusters := r.Clusters()
+	infos := make([]Info, len(clusters))
+	for idx, members := range clusters {
+		b := geom.EmptyMBB()
+		for _, i := range members {
+			b = b.ExtendPoint(pts[i])
+		}
+		area := b.Area()
+		if area < minArea {
+			area = minArea
+		}
+		size := len(members)
+		infos[idx] = Info{
+			ID:      int32(idx + 1),
+			Size:    size,
+			MBB:     b,
+			Area:    area,
+			Density: float64(size) / area,
+			PtsSq:   float64(size) * float64(size) / area,
+		}
+	}
+	return infos
+}
+
+// Renumber rewrites cluster IDs to 1..K in first-appearance order and drops
+// empty IDs; it returns the number of clusters. VariantDBSCAN calls this
+// after reuse passes that may destroy (empty out) clusters.
+func (r *Result) Renumber() int {
+	remap := make(map[int32]int32)
+	var next int32
+	for i, l := range r.Labels {
+		if l <= 0 {
+			continue
+		}
+		nl, ok := remap[l]
+		if !ok {
+			next++
+			nl = next
+			remap[l] = nl
+		}
+		r.Labels[i] = nl
+	}
+	r.NumClusters = int(next)
+	r.clusters = nil
+	return r.NumClusters
+}
+
+// Remap translates the Result into a different index space: out.Labels[mapping[i]] =
+// r.Labels[i]. Used to convert results from grid-sorted index space back to
+// the caller's original point order.
+func (r *Result) Remap(mapping []int) *Result {
+	if len(mapping) != len(r.Labels) {
+		panic(fmt.Sprintf("cluster: mapping length %d != labels length %d", len(mapping), len(r.Labels)))
+	}
+	out := NewResult(len(r.Labels))
+	out.NumClusters = r.NumClusters
+	for i, l := range r.Labels {
+		out.Labels[mapping[i]] = l
+	}
+	return out
+}
+
+// Sizes returns the size of every cluster, indexed by id-1.
+func (r *Result) Sizes() []int {
+	sizes := make([]int, r.NumClusters)
+	for _, l := range r.Labels {
+		if l > 0 {
+			sizes[l-1]++
+		}
+	}
+	return sizes
+}
+
+// String implements fmt.Stringer.
+func (r *Result) String() string {
+	return fmt.Sprintf("clustering{points=%d clusters=%d noise=%d}",
+		r.Len(), r.NumClusters, r.NumNoise())
+}
+
+// EquivalentLabelings reports whether a and b induce the same partition:
+// identical noise sets and a bijection between cluster IDs. DBSCAN results
+// are only unique up to cluster renumbering (and border-point ties), so
+// tests compare with this rather than label equality.
+func EquivalentLabelings(a, b *Result) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	fwd := make(map[int32]int32)
+	rev := make(map[int32]int32)
+	for i := range a.Labels {
+		la, lb := a.Labels[i], b.Labels[i]
+		if (la == Noise) != (lb == Noise) {
+			return false
+		}
+		if la == Noise {
+			continue
+		}
+		if m, ok := fwd[la]; ok && m != lb {
+			return false
+		}
+		if m, ok := rev[lb]; ok && m != la {
+			return false
+		}
+		fwd[la] = lb
+		rev[lb] = la
+	}
+	return true
+}
+
+// DisagreementCount returns the number of points whose noise/cluster status
+// differs between a and b under the best-effort greedy ID matching that
+// EquivalentLabelings uses; useful for diagnostics on near-identical results.
+func DisagreementCount(a, b *Result) int {
+	if a.Len() != b.Len() {
+		return -1
+	}
+	// Map each a-cluster to the b-cluster that shares the most points.
+	overlap := make(map[[2]int32]int)
+	for i := range a.Labels {
+		la, lb := a.Labels[i], b.Labels[i]
+		if la > 0 && lb > 0 {
+			overlap[[2]int32{la, lb}]++
+		}
+	}
+	bestFor := make(map[int32]int32)
+	bestCount := make(map[int32]int)
+	for k, c := range overlap {
+		if c > bestCount[k[0]] {
+			bestCount[k[0]] = c
+			bestFor[k[0]] = k[1]
+		}
+	}
+	disagree := 0
+	for i := range a.Labels {
+		la, lb := a.Labels[i], b.Labels[i]
+		switch {
+		case la == Noise && lb == Noise:
+		case la == Noise || lb == Noise:
+			disagree++
+		case bestFor[la] != lb:
+			disagree++
+		}
+	}
+	return disagree
+}
+
+// TopClusterSizes returns the k largest cluster sizes in descending order
+// (fewer if the result has fewer clusters). Used by example programs.
+func (r *Result) TopClusterSizes(k int) []int {
+	sizes := r.Sizes()
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	if k > len(sizes) {
+		k = len(sizes)
+	}
+	return sizes[:k]
+}

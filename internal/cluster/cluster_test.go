@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"testing"
+
+	"vdbscan/internal/geom"
+)
+
+func TestNewResult(t *testing.T) {
+	r := NewResult(5)
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	for i, l := range r.Labels {
+		if l != Unclassified {
+			t.Errorf("label %d = %d, want Unclassified", i, l)
+		}
+	}
+}
+
+func mkResult(labels ...int32) *Result {
+	r := &Result{Labels: labels}
+	max := int32(0)
+	for _, l := range labels {
+		if l > max {
+			max = l
+		}
+	}
+	r.NumClusters = int(max)
+	return r
+}
+
+func TestCounts(t *testing.T) {
+	r := mkResult(1, 1, 2, Noise, Noise, 2, 1)
+	if got := r.NumNoise(); got != 2 {
+		t.Errorf("NumNoise = %d", got)
+	}
+	if got := r.NumClustered(); got != 5 {
+		t.Errorf("NumClustered = %d", got)
+	}
+}
+
+func TestClusters(t *testing.T) {
+	r := mkResult(1, 2, 1, Noise, 2, 2)
+	cs := r.Clusters()
+	if len(cs) != 2 {
+		t.Fatalf("clusters = %d", len(cs))
+	}
+	if len(cs[0]) != 2 || cs[0][0] != 0 || cs[0][1] != 2 {
+		t.Errorf("cluster 1 = %v", cs[0])
+	}
+	if len(cs[1]) != 3 {
+		t.Errorf("cluster 2 = %v", cs[1])
+	}
+	if got := r.ClusterPoints(2); len(got) != 3 {
+		t.Errorf("ClusterPoints(2) = %v", got)
+	}
+}
+
+func TestClusterMBBAndInfos(t *testing.T) {
+	pts := []geom.Point{
+		{X: 0, Y: 0}, {X: 2, Y: 2}, // cluster 1
+		{X: 10, Y: 10}, // cluster 2 (single point)
+		{X: 5, Y: 5},   // noise
+	}
+	r := mkResult(1, 1, 2, Noise)
+	b := r.ClusterMBB(1, pts)
+	if b != (geom.MBB{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2}) {
+		t.Errorf("ClusterMBB = %v", b)
+	}
+	infos := r.Infos(pts)
+	if len(infos) != 2 {
+		t.Fatalf("infos = %d", len(infos))
+	}
+	if infos[0].Size != 2 || infos[0].Area != 4 {
+		t.Errorf("info[0] = %+v", infos[0])
+	}
+	if infos[0].Density != 0.5 || infos[0].PtsSq != 1 {
+		t.Errorf("density measures: %+v", infos[0])
+	}
+	// Single-point cluster: area floored, density finite and huge.
+	if infos[1].Size != 1 {
+		t.Errorf("info[1] = %+v", infos[1])
+	}
+	if infos[1].Density <= 0 || infos[1].Density != infos[1].Density { // NaN check
+		t.Errorf("degenerate density = %g", infos[1].Density)
+	}
+}
+
+func TestRenumber(t *testing.T) {
+	r := mkResult(5, 5, 9, Noise, 9, 3)
+	r.NumClusters = 9
+	n := r.Renumber()
+	if n != 3 {
+		t.Fatalf("Renumber = %d", n)
+	}
+	want := []int32{1, 1, 2, Noise, 2, 3}
+	for i := range want {
+		if r.Labels[i] != want[i] {
+			t.Fatalf("labels = %v, want %v", r.Labels, want)
+		}
+	}
+}
+
+func TestRenumberDropsEmptied(t *testing.T) {
+	// Simulates reuse destroying cluster 2: its points moved to cluster 1.
+	r := mkResult(1, 1, 1, 3, Noise)
+	r.NumClusters = 3
+	if n := r.Renumber(); n != 2 {
+		t.Fatalf("Renumber = %d, want 2", n)
+	}
+}
+
+func TestRemap(t *testing.T) {
+	// sorted -> original mapping
+	r := mkResult(1, 2, Noise)
+	mapping := []int{2, 0, 1} // sorted i was original mapping[i]
+	out := r.Remap(mapping)
+	want := []int32{2, Noise, 1}
+	for i := range want {
+		if out.Labels[i] != want[i] {
+			t.Fatalf("remapped = %v, want %v", out.Labels, want)
+		}
+	}
+	if out.NumClusters != 2 {
+		t.Errorf("NumClusters = %d", out.NumClusters)
+	}
+}
+
+func TestRemapPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	mkResult(1, 2).Remap([]int{0})
+}
+
+func TestEquivalentLabelings(t *testing.T) {
+	a := mkResult(1, 1, 2, Noise)
+	b := mkResult(2, 2, 1, Noise) // renumbered
+	if !EquivalentLabelings(a, b) {
+		t.Error("renumbered labelings should be equivalent")
+	}
+	c := mkResult(1, 2, 2, Noise) // different partition
+	if EquivalentLabelings(a, c) {
+		t.Error("different partitions should not be equivalent")
+	}
+	d := mkResult(1, 1, 2, 2) // noise vs cluster
+	if EquivalentLabelings(a, d) {
+		t.Error("noise mismatch should not be equivalent")
+	}
+	if EquivalentLabelings(a, mkResult(1)) {
+		t.Error("length mismatch should not be equivalent")
+	}
+	// One cluster split into two is NOT equivalent (injectivity check).
+	e := mkResult(1, 3, 2, Noise)
+	if EquivalentLabelings(a, e) {
+		t.Error("split cluster should not be equivalent")
+	}
+}
+
+func TestDisagreementCount(t *testing.T) {
+	a := mkResult(1, 1, 2, Noise)
+	if got := DisagreementCount(a, a); got != 0 {
+		t.Errorf("self disagreement = %d", got)
+	}
+	b := mkResult(2, 2, 1, Noise)
+	if got := DisagreementCount(a, b); got != 0 {
+		t.Errorf("renumbered disagreement = %d", got)
+	}
+	c := mkResult(1, 1, 2, 2) // noise point became clustered
+	if got := DisagreementCount(a, c); got != 1 {
+		t.Errorf("one-point disagreement = %d", got)
+	}
+	if got := DisagreementCount(a, mkResult(1)); got != -1 {
+		t.Errorf("length mismatch should return -1, got %d", got)
+	}
+}
+
+func TestSizesAndTopClusterSizes(t *testing.T) {
+	r := mkResult(1, 2, 2, 3, 3, 3, Noise)
+	sizes := r.Sizes()
+	if len(sizes) != 3 || sizes[0] != 1 || sizes[1] != 2 || sizes[2] != 3 {
+		t.Errorf("Sizes = %v", sizes)
+	}
+	top := r.TopClusterSizes(2)
+	if len(top) != 2 || top[0] != 3 || top[1] != 2 {
+		t.Errorf("TopClusterSizes = %v", top)
+	}
+	if got := r.TopClusterSizes(10); len(got) != 3 {
+		t.Errorf("TopClusterSizes(10) = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := mkResult(1, Noise).String(); s == "" {
+		t.Error("String empty")
+	}
+}

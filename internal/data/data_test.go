@@ -1,0 +1,281 @@
+package data
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds collided %d times", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGIntN(t *testing.T) {
+	r := NewRNG(8)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		counts[r.IntN(10)]++
+	}
+	for v, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("IntN(10) value %d count %d far from uniform", v, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("IntN(0) should panic")
+		}
+	}()
+	r.IntN(0)
+}
+
+func TestRNGNormFloat64Moments(t *testing.T) {
+	r := NewRNG(9)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %g", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %g", variance)
+	}
+}
+
+func TestClusterCountRule(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1_000_000, 100},
+		{100_000, 10},
+		{10_000, 1},
+		{5_000, 1}, // floored at 1
+		{0, 1},
+	}
+	for _, c := range cases {
+		if got := clusterCountFor(c.n); got != c.want {
+			t.Errorf("clusterCountFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestGenerateCFBasics(t *testing.T) {
+	ds, err := Generate(SynthConfig{Class: ClassCF, N: 20000, NoiseFrac: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 20000 {
+		t.Fatalf("|D| = %d", ds.Len())
+	}
+	if ds.SynthClusters != 2 {
+		t.Errorf("clusters = %d, want 2", ds.SynthClusters)
+	}
+	if ds.Name != "cF_20k_5N" {
+		t.Errorf("name = %q", ds.Name)
+	}
+	for _, p := range ds.Points {
+		if !Region.ContainsPoint(p) {
+			t.Fatalf("point %v outside region", p)
+		}
+	}
+}
+
+func TestGenerateCFUniformSizes(t *testing.T) {
+	rng := NewRNG(1)
+	sizes := clusterSizes(ClassCF, 1003, 10, rng)
+	total := 0
+	for _, s := range sizes {
+		total += s
+		if s != 100 && s != 101 {
+			t.Errorf("cF size %d not uniform", s)
+		}
+	}
+	if total != 1003 {
+		t.Errorf("total = %d", total)
+	}
+}
+
+func TestGenerateCVVariableSizes(t *testing.T) {
+	rng := NewRNG(2)
+	sizes := clusterSizes(ClassCV, 100000, 10, rng)
+	total := 0
+	minS, maxS := sizes[0], sizes[0]
+	for _, s := range sizes {
+		total += s
+		if s < minS {
+			minS = s
+		}
+		if s > maxS {
+			maxS = s
+		}
+	}
+	if total != 100000 {
+		t.Errorf("total = %d", total)
+	}
+	if maxS == minS {
+		t.Error("cV sizes should vary")
+	}
+	// 0-500% of the uniform share (10000): max must respect the cap
+	// loosely (weights scaled by the total, so the cap is statistical; just
+	// sanity-check the spread is meaningful).
+	if maxS < 11000 {
+		t.Errorf("cV max size %d suspiciously uniform", maxS)
+	}
+}
+
+func TestClusterSizesDegenerate(t *testing.T) {
+	rng := NewRNG(3)
+	if sizes := clusterSizes(ClassCF, 0, 5, rng); len(sizes) != 5 {
+		t.Error("zero points should still return k sizes")
+	}
+	sizes := clusterSizes(ClassCV, 7, 3, rng)
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 7 {
+		t.Errorf("tiny cV total = %d", total)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(SynthConfig{N: -1}); err == nil {
+		t.Error("negative N accepted")
+	}
+	if _, err := Generate(SynthConfig{N: 10, NoiseFrac: 1.5}); err == nil {
+		t.Error("noise > 1 accepted")
+	}
+	if _, err := Generate(SynthConfig{N: 0}); err != nil {
+		t.Error("N=0 should be allowed (empty dataset)")
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	cfg := SynthConfig{Class: ClassCV, N: 5000, NoiseFrac: 0.3, Seed: 77}
+	a, _ := Generate(cfg)
+	b, _ := Generate(cfg)
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatal("same seed produced different points")
+		}
+	}
+	cfg.Seed = 78
+	c, _ := Generate(cfg)
+	diff := 0
+	for i := range a.Points {
+		if a.Points[i] != c.Points[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestGenerateNoiseFraction(t *testing.T) {
+	f := func(seed uint64) bool {
+		ds, err := Generate(SynthConfig{Class: ClassCF, N: 10000, NoiseFrac: 0.3, Seed: seed})
+		return err == nil && ds.Len() == 10000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSynthName(t *testing.T) {
+	cases := []struct {
+		class SynthClass
+		n     int
+		noise float64
+		want  string
+	}{
+		{ClassCF, 1_000_000, 0.05, "cF_1M_5N"},
+		{ClassCF, 100_000, 0.30, "cF_100k_30N"},
+		{ClassCV, 10_000, 0.15, "cV_10k_15N"},
+		{ClassCV, 1234, 0.05, "cV_1234_5N"},
+	}
+	for _, c := range cases {
+		if got := SynthName(c.class, c.n, c.noise); got != c.want {
+			t.Errorf("SynthName = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTable1Synthetic(t *testing.T) {
+	dss, err := Table1Synthetic(0.01, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dss) != 12 {
+		t.Fatalf("datasets = %d, want 12", len(dss))
+	}
+	names := map[string]bool{}
+	for _, ds := range dss {
+		if names[ds.Name] {
+			t.Errorf("duplicate dataset name %s", ds.Name)
+		}
+		names[ds.Name] = true
+	}
+	// Paper names preserved even at reduced scale.
+	for _, want := range []string{"cF_1M_5N", "cF_10k_30N", "cV_1M_15N", "cV_100k_30N"} {
+		if !names[want] {
+			t.Errorf("missing dataset %s", want)
+		}
+	}
+	// Scaled sizes.
+	for _, ds := range dss {
+		if ds.Name == "cF_1M_5N" && ds.Len() != 10000 {
+			t.Errorf("scaled cF_1M_5N size = %d, want 10000", ds.Len())
+		}
+	}
+	if _, err := Table1Synthetic(0, 1); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if _, err := Table1Synthetic(2, 1); err == nil {
+		t.Error("scale 2 accepted")
+	}
+}
+
+func TestDatasetString(t *testing.T) {
+	ds, _ := Generate(SynthConfig{Class: ClassCF, N: 100, NoiseFrac: 0.05, Seed: 1})
+	if ds.String() == "" {
+		t.Error("String empty")
+	}
+	sw := &Dataset{Name: "SW1", NoiseFrac: -1}
+	if sw.String() != "SW1{|D|=0}" {
+		t.Errorf("SW String = %q", sw.String())
+	}
+}

@@ -1,0 +1,54 @@
+package data
+
+import (
+	"fmt"
+
+	"vdbscan/internal/geom"
+)
+
+// Region is the default 2-D extent datasets are generated over: a world-map
+// style 360°×180° box matching the TEC application's longitude/latitude
+// framing. The grid sort uses unit (1°) bins over the same scale (§IV-A).
+var Region = geom.MBB{MinX: 0, MinY: 0, MaxX: 360, MaxY: 180}
+
+// Dataset bundles a generated point database with its provenance.
+type Dataset struct {
+	// Name follows the paper's naming, e.g. "cF_1M_5N" or "SW1".
+	Name string
+	// Points is the point database D.
+	Points []geom.Point
+	// NoiseFrac is the intended fraction of uniformly distributed noise
+	// points; negative when not applicable (real/simulated TEC data has no
+	// explicit noise label — Table I lists "N/A").
+	NoiseFrac float64
+	// SynthClusters is the number of synthetic clusters generated; 0 when
+	// not applicable.
+	SynthClusters int
+	// Seed reproduces the dataset.
+	Seed uint64
+}
+
+// Len returns |D|.
+func (d *Dataset) Len() int { return len(d.Points) }
+
+// String implements fmt.Stringer.
+func (d *Dataset) String() string {
+	if d.NoiseFrac < 0 {
+		return fmt.Sprintf("%s{|D|=%d}", d.Name, d.Len())
+	}
+	return fmt.Sprintf("%s{|D|=%d noise=%.0f%% clusters=%d}",
+		d.Name, d.Len(), d.NoiseFrac*100, d.SynthClusters)
+}
+
+// sizeTag renders a point count the way the paper's dataset names do
+// (10k, 100k, 1M).
+func sizeTag(n int) string {
+	switch {
+	case n >= 1_000_000 && n%1_000_000 == 0:
+		return fmt.Sprintf("%dM", n/1_000_000)
+	case n >= 1_000 && n%1_000 == 0:
+		return fmt.Sprintf("%dk", n/1_000)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

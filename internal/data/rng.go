@@ -1,0 +1,68 @@
+// Package data provides the synthetic dataset generators of the paper's
+// evaluation (§V-A): class cF- (fixed number of clusters, uniform points per
+// cluster) and class cV- (variable cluster sizes, 0–500% of the uniform
+// size), plus the Dataset container shared with the TEC simulator
+// (internal/tec).
+//
+// All randomness flows through the deterministic splitmix64 generator in
+// this file so that every dataset is reproducible from (class, N, noise,
+// seed) alone.
+package data
+
+import "math"
+
+// RNG is a small, fast, deterministic generator (splitmix64 core with a
+// Box–Muller Gaussian). It is NOT safe for concurrent use; generators are
+// cheap — create one per goroutine.
+type RNG struct {
+	state    uint64
+	spare    float64
+	hasSpare bool
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 random bits (splitmix64).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// IntN returns a uniform value in [0, n). It panics when n <= 0.
+func (r *RNG) IntN(n int) int {
+	if n <= 0 {
+		panic("data: IntN with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal deviate (Box–Muller, polar form).
+func (r *RNG) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.hasSpare = true
+		return u * f
+	}
+}

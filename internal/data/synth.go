@@ -1,0 +1,243 @@
+package data
+
+import (
+	"fmt"
+	"math"
+
+	"vdbscan/internal/geom"
+)
+
+// SynthClass distinguishes the two synthetic dataset families of §V-A.
+type SynthClass int
+
+const (
+	// ClassCF: fixed number of clusters (|D|·10⁻⁴) with a uniform number
+	// of points per cluster.
+	ClassCF SynthClass = iota
+	// ClassCV: same cluster count and total clustered points, but each
+	// cluster's size is drawn from 0–500% of the uniform size.
+	ClassCV
+)
+
+// String implements fmt.Stringer with the paper's class prefixes.
+func (c SynthClass) String() string {
+	if c == ClassCF {
+		return "cF"
+	}
+	return "cV"
+}
+
+// SynthConfig parameterizes Generate.
+type SynthConfig struct {
+	// Class selects cF or cV.
+	Class SynthClass
+	// N is the total number of points |D|.
+	N int
+	// NoiseFrac is the fraction of N that is uniform noise (0.05, 0.15,
+	// 0.30 in the paper).
+	NoiseFrac float64
+	// Region is the 2-D extent; the package Region when zero.
+	Region geom.MBB
+	// Sigma is the per-axis standard deviation of a cluster's Gaussian
+	// point cloud, in the region's units; DefaultSigma when zero.
+	Sigma float64
+	// Clusters overrides the number of synthetic clusters; when zero the
+	// paper's rule |D|·10⁻⁴ applies. The evaluation harness uses the
+	// override to keep the full-size cluster count when |D| is scaled
+	// down, so a scaled dataset keeps the named dataset's structure.
+	Clusters int
+	// Seed makes the dataset reproducible.
+	Seed uint64
+}
+
+// DefaultSigma gives clusters a ~6°-wide core on the 360°×180° region —
+// compact and well separated at the paper's cluster counts.
+const DefaultSigma = 1.5
+
+// clusterCountFor is the paper's rule: the number of synthetic clusters is
+// |D| × 10⁻⁴, floored at 1.
+func clusterCountFor(n int) int {
+	k := int(float64(n) * 1e-4)
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Generate produces a synthetic dataset per cfg. Points are emitted cluster
+// by cluster followed by the noise block; the order carries no information
+// (the indexing pipeline re-sorts spatially anyway).
+func Generate(cfg SynthConfig) (*Dataset, error) {
+	if cfg.N < 0 {
+		return nil, fmt.Errorf("data: negative N %d", cfg.N)
+	}
+	if cfg.NoiseFrac < 0 || cfg.NoiseFrac > 1 {
+		return nil, fmt.Errorf("data: noise fraction %g outside [0,1]", cfg.NoiseFrac)
+	}
+	region := cfg.Region
+	if region.IsEmpty() || region == (geom.MBB{}) {
+		region = Region
+	}
+	sigma := cfg.Sigma
+	if sigma <= 0 {
+		sigma = DefaultSigma
+	}
+
+	rng := NewRNG(cfg.Seed)
+	nNoise := int(math.Round(float64(cfg.N) * cfg.NoiseFrac))
+	nClustered := cfg.N - nNoise
+	k := cfg.Clusters
+	if k <= 0 {
+		k = clusterCountFor(cfg.N)
+	}
+
+	sizes := clusterSizes(cfg.Class, nClustered, k, rng)
+
+	pts := make([]geom.Point, 0, cfg.N)
+	w := region.MaxX - region.MinX
+	h := region.MaxY - region.MinY
+	// Keep centers a sigma-margin inside the region so clusters do not
+	// spill over the edges (matters for the unit-bin sort); cap the margin
+	// for very wide clusters so center placement never degenerates.
+	mx, my := 3*sigma, 3*sigma
+	if mx > w/4 {
+		mx = w / 4
+	}
+	if my > h/4 {
+		my = h / 4
+	}
+	for _, size := range sizes {
+		cx := region.MinX + mx + rng.Float64()*(w-2*mx)
+		cy := region.MinY + my + rng.Float64()*(h-2*my)
+		for i := 0; i < size; i++ {
+			pts = append(pts, geom.Point{
+				X: clamp(cx+rng.NormFloat64()*sigma, region.MinX, region.MaxX),
+				Y: clamp(cy+rng.NormFloat64()*sigma, region.MinY, region.MaxY),
+			})
+		}
+	}
+	for i := 0; i < nNoise; i++ {
+		pts = append(pts, geom.Point{
+			X: region.MinX + rng.Float64()*w,
+			Y: region.MinY + rng.Float64()*h,
+		})
+	}
+
+	return &Dataset{
+		Name:          SynthName(cfg.Class, cfg.N, cfg.NoiseFrac),
+		Points:        pts,
+		NoiseFrac:     cfg.NoiseFrac,
+		SynthClusters: k,
+		Seed:          cfg.Seed,
+	}, nil
+}
+
+// clusterSizes distributes nClustered points over k clusters.
+//
+// cF: uniform split (remainder spread one point each over the first
+// clusters). cV: each cluster draws a weight uniform in [0, 5) — i.e. a
+// size between 0% and 500% of the uniform share (§V-A) — and sizes are
+// scaled so the total stays nClustered.
+func clusterSizes(class SynthClass, nClustered, k int, rng *RNG) []int {
+	sizes := make([]int, k)
+	if nClustered <= 0 || k == 0 {
+		return sizes
+	}
+	if class == ClassCF {
+		base := nClustered / k
+		rem := nClustered % k
+		for i := range sizes {
+			sizes[i] = base
+			if i < rem {
+				sizes[i]++
+			}
+		}
+		return sizes
+	}
+	weights := make([]float64, k)
+	var total float64
+	for i := range weights {
+		weights[i] = rng.Float64() * 5
+		total += weights[i]
+	}
+	if total == 0 {
+		weights[0], total = 1, 1
+	}
+	assigned := 0
+	for i := range sizes {
+		sizes[i] = int(weights[i] / total * float64(nClustered))
+		assigned += sizes[i]
+	}
+	// Rounding remainder: one point at a time to the heaviest clusters.
+	for i := 0; assigned < nClustered; i = (i + 1) % k {
+		sizes[i]++
+		assigned++
+	}
+	return sizes
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// SynthName renders the paper's dataset naming: cF_1M_5N, cV_100k_30N, ...
+func SynthName(class SynthClass, n int, noiseFrac float64) string {
+	return fmt.Sprintf("%s_%s_%.0fN", class, sizeTag(n), noiseFrac*100)
+}
+
+// Table1Synthetic generates the twelve synthetic datasets of Table I, with
+// every |D| multiplied by scale (0 < scale ≤ 1) so laptop-scale runs stay
+// tractable; scale 1 reproduces the paper's sizes. The seed varies per
+// dataset so no two share point positions.
+func Table1Synthetic(scale float64, seed uint64) ([]*Dataset, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("data: scale %g outside (0,1]", scale)
+	}
+	specs := []struct {
+		class SynthClass
+		n     int
+		noise float64
+	}{
+		{ClassCF, 1_000_000, 0.05},
+		{ClassCF, 100_000, 0.05},
+		{ClassCF, 10_000, 0.05},
+		{ClassCF, 1_000_000, 0.15},
+		{ClassCF, 1_000_000, 0.30},
+		{ClassCF, 100_000, 0.30},
+		{ClassCF, 10_000, 0.30},
+		{ClassCV, 1_000_000, 0.05},
+		{ClassCV, 1_000_000, 0.15},
+		{ClassCV, 1_000_000, 0.30},
+		{ClassCV, 100_000, 0.30},
+		{ClassCV, 10_000, 0.30},
+	}
+	out := make([]*Dataset, 0, len(specs))
+	for i, s := range specs {
+		n := int(float64(s.n) * scale)
+		if n < 1 {
+			n = 1
+		}
+		ds, err := Generate(SynthConfig{
+			Class:     s.class,
+			N:         n,
+			NoiseFrac: s.noise,
+			Seed:      seed + uint64(i)*0x1000,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Keep the paper's name (full-size tag) when scaled, with a suffix
+		// making the scaling visible.
+		if scale != 1 {
+			ds.Name = SynthName(s.class, s.n, s.noise)
+		}
+		out = append(out, ds)
+	}
+	return out, nil
+}

@@ -1,0 +1,210 @@
+package dataio
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vdbscan/internal/cluster"
+	"vdbscan/internal/data"
+	"vdbscan/internal/geom"
+)
+
+func sample() *data.Dataset {
+	return &data.Dataset{
+		Name:          "cF_test_5N",
+		Points:        []geom.Point{{X: 1.25, Y: -3.5}, {X: 0, Y: 0}, {X: 359.999, Y: 180}},
+		NoiseFrac:     0.05,
+		SynthClusters: 2,
+		Seed:          42,
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	if got.Name != want.Name || got.NoiseFrac != want.NoiseFrac ||
+		got.SynthClusters != want.SynthClusters || got.Seed != want.Seed {
+		t.Errorf("provenance lost: %+v", got)
+	}
+	if len(got.Points) != len(want.Points) {
+		t.Fatalf("points = %d", len(got.Points))
+	}
+	for i := range want.Points {
+		if got.Points[i] != want.Points[i] {
+			t.Errorf("point %d = %v, want %v", i, got.Points[i], want.Points[i])
+		}
+	}
+}
+
+func TestCSVExactFloatRoundTrip(t *testing.T) {
+	ds := &data.Dataset{Name: "precision", NoiseFrac: -1,
+		Points: []geom.Point{{X: math.Pi, Y: math.Sqrt2}, {X: 1e-17, Y: -1e17}}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.Points {
+		if got.Points[i] != ds.Points[i] {
+			t.Errorf("float not exactly preserved: %v vs %v", got.Points[i], ds.Points[i])
+		}
+	}
+}
+
+func TestReadCSVBareFile(t *testing.T) {
+	got, err := ReadCSV(strings.NewReader("1,2\n3,4\n\n5,6\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Points) != 3 || got.Name != "unnamed" || got.NoiseFrac != -1 {
+		t.Errorf("bare csv: %+v", got)
+	}
+}
+
+func TestReadCSVWhitespaceTolerant(t *testing.T) {
+	got, err := ReadCSV(strings.NewReader("  1.5 , 2.5 \n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Points[0] != (geom.Point{X: 1.5, Y: 2.5}) {
+		t.Errorf("point = %v", got.Points[0])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	for _, bad := range []string{"1\n", "a,2\n", "1,b\n", "1,2,3\n"} {
+		if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteGob(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGob(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	if got.Name != want.Name || got.Seed != want.Seed || len(got.Points) != len(want.Points) {
+		t.Fatalf("gob round trip lost data: %+v", got)
+	}
+	for i := range want.Points {
+		if got.Points[i] != want.Points[i] {
+			t.Errorf("point %d differs", i)
+		}
+	}
+}
+
+func TestReadGobGarbage(t *testing.T) {
+	if _, err := ReadGob(strings.NewReader("not gob data")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestSaveLoadDatasetByExtension(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"d.csv", "d.gob"} {
+		path := filepath.Join(dir, name)
+		if err := SaveDataset(path, sample()); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadDataset(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Name != "cF_test_5N" || len(got.Points) != 3 {
+			t.Errorf("%s: %+v", name, got)
+		}
+	}
+	if _, err := LoadDataset(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSaveDatasetBadPath(t *testing.T) {
+	if err := SaveDataset(string(filepath.Separator)+"no"+string(filepath.Separator)+"such"+string(filepath.Separator)+"dir"+string(filepath.Separator)+"x.csv", sample()); err == nil {
+		t.Error("bad path accepted")
+	}
+	_ = os.Remove("x.csv")
+}
+
+func TestLabelsCSVRoundTrip(t *testing.T) {
+	res := &cluster.Result{Labels: []int32{1, cluster.Noise, 2, 1}, NumClusters: 2}
+	var buf bytes.Buffer
+	if err := WriteLabelsCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLabelsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumClusters != 2 || len(got.Labels) != 4 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	for i := range res.Labels {
+		if got.Labels[i] != res.Labels[i] {
+			t.Errorf("label %d = %d, want %d", i, got.Labels[i], res.Labels[i])
+		}
+	}
+}
+
+func TestReadLabelsCSVErrors(t *testing.T) {
+	for _, bad := range []string{"0\n", "x,1\n", "0,y\n", "5,1\n"} {
+		if _, err := ReadLabelsCSV(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestEmptyDatasetRoundTrips(t *testing.T) {
+	empty := &data.Dataset{Name: "empty", NoiseFrac: -1}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, empty); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil || got.Len() != 0 {
+		t.Errorf("empty csv: %v %v", got, err)
+	}
+	buf.Reset()
+	if err := WriteGob(&buf, empty); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadGob(&buf)
+	if err != nil || got.Len() != 0 {
+		t.Errorf("empty gob: %v %v", got, err)
+	}
+}
+
+func TestLargeDatasetGob(t *testing.T) {
+	ds, err := data.Generate(data.SynthConfig{Class: data.ClassCF, N: 50000, NoiseFrac: 0.1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGob(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGob(&buf)
+	if err != nil || got.Len() != 50000 {
+		t.Fatalf("large gob: len=%d err=%v", got.Len(), err)
+	}
+}

@@ -1,0 +1,280 @@
+// Package dbscan implements DBSCAN (Ester et al., KDD 1996) — Algorithms 1
+// and 2 of the paper — over the shared R-tree indexes that make
+// variant-based parallelism possible.
+//
+// The central object is Index: one spatially sorted copy of the point
+// database plus two read-only R-trees,
+//
+//	T_low  — r points per leaf MBB (r ≈ 70–110), used for ε-searches;
+//	T_high — one point per leaf MBB, used for exact cluster-MBB sweeps
+//	         in VariantDBSCAN (internal/core).
+//
+// Because the trees are immutable after construction, any number of variant
+// executions may search them concurrently without locking — the property the
+// paper's throughput optimization rests on.
+package dbscan
+
+import (
+	"fmt"
+
+	"vdbscan/internal/cluster"
+	"vdbscan/internal/geom"
+	"vdbscan/internal/grid"
+	"vdbscan/internal/metrics"
+	"vdbscan/internal/rtree"
+)
+
+// DefaultR is the T_low leaf occupancy used when the caller does not choose
+// one. The paper finds 70 ≤ r ≤ 110 consistently good (§V-C); 70 matches the
+// setting used for scenarios S2 and S3.
+const DefaultR = 70
+
+// DefaultBinWidth is the width of the pre-index sorting bins (§IV-A uses
+// unit width for degree-scaled TEC data).
+const DefaultBinWidth = 1.0
+
+// Index is the shared, immutable spatial index for one point database.
+type Index struct {
+	// Pts is the grid-sorted point array; all clustering runs in this
+	// index space.
+	Pts []geom.Point
+	// Fwd maps sorted index -> original index (Fwd[sorted] = original).
+	Fwd []int
+	// TLow is the low-resolution ε-search tree (r points per MBB).
+	TLow *rtree.Tree
+	// THigh is the high-resolution tree (one point per MBB).
+	THigh *rtree.Tree
+}
+
+// IndexOptions configures BuildIndex.
+type IndexOptions struct {
+	// R is the T_low leaf occupancy; DefaultR when zero.
+	R int
+	// BinWidth is the grid sorting bin width; DefaultBinWidth when zero.
+	BinWidth float64
+	// Fanout overrides the R-tree node fanout; rtree.DefaultFanout when zero.
+	Fanout int
+	// SkipHigh omits T_high construction for callers that only run plain
+	// DBSCAN (saves |D| leaf MBBs of memory).
+	SkipHigh bool
+}
+
+func (o IndexOptions) withDefaults() IndexOptions {
+	if o.R <= 0 {
+		o.R = DefaultR
+	}
+	if o.BinWidth <= 0 {
+		o.BinWidth = DefaultBinWidth
+	}
+	return o
+}
+
+// BuildIndex grid-sorts pts and builds the shared trees. The input slice is
+// not modified; the index keeps its own sorted copy.
+func BuildIndex(pts []geom.Point, opt IndexOptions) *Index {
+	opt = opt.withDefaults()
+	sorted, fwd := grid.Sort(pts, opt.BinWidth)
+	ix := &Index{
+		Pts:  sorted,
+		Fwd:  fwd,
+		TLow: rtree.BulkLoad(sorted, rtree.Options{R: opt.R, Fanout: opt.Fanout}),
+	}
+	if !opt.SkipHigh {
+		ix.THigh = rtree.BulkLoad(sorted, rtree.Options{R: 1, Fanout: opt.Fanout})
+	}
+	return ix
+}
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return len(ix.Pts) }
+
+// R returns the leaf occupancy of T_low.
+func (ix *Index) R() int { return ix.TLow.R() }
+
+// NeighborSearch is Algorithm 2: it builds the ε-augmented query MBB around
+// p, collects candidate points from T_low's overlapping leaf MBBs, and
+// distance-filters them. Results are appended to dst (which may be nil) as
+// sorted-space point indices, including the query point itself when it is in
+// the database. m may be nil.
+func (ix *Index) NeighborSearch(p geom.Point, eps float64, m *metrics.Counters, dst []int32) []int32 {
+	q := geom.QueryMBB(p, eps)
+	epsSq := eps * eps
+	candidates := int64(0)
+	nodes := ix.TLow.Search(q, func(lr rtree.LeafRange) {
+		end := lr.Start + lr.Count
+		for i := lr.Start; i < end; i++ {
+			candidates++
+			if p.DistSq(ix.Pts[i]) <= epsSq {
+				dst = append(dst, int32(i))
+			}
+		}
+	})
+	m.AddNeighborSearches(1)
+	m.AddCandidatesExamined(candidates)
+	m.AddNodesVisited(int64(nodes))
+	m.AddNeighborsFound(int64(len(dst)))
+	return dst
+}
+
+// Params are the two DBSCAN inputs that define a variant.
+type Params struct {
+	Eps    float64
+	MinPts int
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Eps <= 0 {
+		return fmt.Errorf("dbscan: eps must be > 0, got %g", p.Eps)
+	}
+	if p.MinPts < 1 {
+		return fmt.Errorf("dbscan: minpts must be >= 1, got %d", p.MinPts)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer in the paper's (ε, minpts) notation.
+func (p Params) String() string {
+	return fmt.Sprintf("(%g, %d)", p.Eps, p.MinPts)
+}
+
+// Run executes Algorithm 1 over the index and returns labels in sorted index
+// space (use Index.Fwd / Result.Remap to translate). m may be nil.
+//
+// The expansion follows the pseudocode's seed-set semantics: a core point's
+// neighbors join the cluster; neighbors that are themselves core points
+// extend the frontier; non-core neighbors become border points. A point
+// previously marked noise can be relabeled as a border point, matching the
+// original DBSCAN definition.
+func Run(ix *Index, p Params, m *metrics.Counters) (*cluster.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := ix.Len()
+	res := cluster.NewResult(n)
+	visited := make([]bool, n)
+	var cid int32
+
+	// Reusable buffers: the frontier queue and the per-search scratch.
+	// Points enter the queue at most once (marked visited at discovery),
+	// so the queue is bounded by the cluster size rather than by the sum
+	// of all neighborhood sizes.
+	queue := make([]int32, 0, 1024)
+	scratch := make([]int32, 0, 256)
+
+	// absorb labels every neighbor of a core point and enqueues the
+	// not-yet-visited ones for their own ε-search.
+	absorb := func(neighbors []int32, cid int32) {
+		for _, k := range neighbors {
+			if !visited[k] {
+				visited[k] = true
+				queue = append(queue, k)
+			}
+			if res.Labels[k] <= 0 { // unclassified or noise -> join cluster
+				res.Labels[k] = cid
+			}
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		scratch = ix.NeighborSearch(ix.Pts[i], p.Eps, m, scratch[:0])
+		if len(scratch) < p.MinPts {
+			res.Labels[i] = cluster.Noise
+			continue
+		}
+		cid++
+		res.Labels[i] = cid
+		queue = queue[:0]
+		absorb(scratch, cid)
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			scratch = ix.NeighborSearch(ix.Pts[j], p.Eps, m, scratch[:0])
+			if len(scratch) >= p.MinPts {
+				absorb(scratch, cid)
+			}
+		}
+	}
+	res.NumClusters = int(cid)
+	return res, nil
+}
+
+// RunBruteForce is the O(|D|²) reference without any index: the
+// "brute-force approach" the paper contrasts in §II-B. It exists to
+// cross-validate the indexed implementation and for the ablation benchmarks.
+func RunBruteForce(pts []geom.Point, p Params, m *metrics.Counters) (*cluster.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(pts)
+	res := cluster.NewResult(n)
+	visited := make([]bool, n)
+	epsSq := p.Eps * p.Eps
+
+	search := func(q geom.Point, dst []int32) []int32 {
+		for i := 0; i < n; i++ {
+			if q.DistSq(pts[i]) <= epsSq {
+				dst = append(dst, int32(i))
+			}
+		}
+		m.AddNeighborSearches(1)
+		m.AddCandidatesExamined(int64(n))
+		m.AddNeighborsFound(int64(len(dst)))
+		return dst
+	}
+
+	var cid int32
+	queue := make([]int32, 0, 1024)
+	scratch := make([]int32, 0, 256)
+	absorb := func(neighbors []int32, cid int32) {
+		for _, k := range neighbors {
+			if !visited[k] {
+				visited[k] = true
+				queue = append(queue, k)
+			}
+			if res.Labels[k] <= 0 {
+				res.Labels[k] = cid
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		scratch = search(pts[i], scratch[:0])
+		if len(scratch) < p.MinPts {
+			res.Labels[i] = cluster.Noise
+			continue
+		}
+		cid++
+		res.Labels[i] = cid
+		queue = queue[:0]
+		absorb(scratch, cid)
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			scratch = search(pts[j], scratch[:0])
+			if len(scratch) >= p.MinPts {
+				absorb(scratch, cid)
+			}
+		}
+	}
+	res.NumClusters = int(cid)
+	return res, nil
+}
+
+// CorePoints returns, in sorted index space, whether each point is a core
+// point under p. Exposed for tests and the OPTICS cross-checks.
+func CorePoints(ix *Index, p Params, m *metrics.Counters) []bool {
+	n := ix.Len()
+	core := make([]bool, n)
+	scratch := make([]int32, 0, 256)
+	for i := 0; i < n; i++ {
+		scratch = ix.NeighborSearch(ix.Pts[i], p.Eps, m, scratch[:0])
+		core[i] = len(scratch) >= p.MinPts
+	}
+	return core
+}

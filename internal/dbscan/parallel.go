@@ -1,0 +1,116 @@
+package dbscan
+
+import (
+	"runtime"
+	"sync"
+
+	"vdbscan/internal/cluster"
+	"vdbscan/internal/metrics"
+)
+
+// RunParallel executes DBSCAN with intra-variant parallelism: the
+// ε-neighborhood searches of each expansion frontier are fanned out to a
+// worker pool, in the spirit of the master/worker schemes of Arlia &
+// Coppola (Euro-Par 2001) and Brecheisen et al. — the related work the
+// paper contrasts with variant-based parallelism (§III).
+//
+// The master performs the clustering logic; workers only answer range
+// queries, which is safe because the shared index is immutable. This is
+// the single-variant alternative to VariantDBSCAN: it reduces one
+// variant's response time, while VariantDBSCAN maximizes throughput over
+// many variants. The ablation benchmarks compare the two regimes.
+//
+// Results are equivalent to Run up to border-point ordering. workers <= 0
+// selects GOMAXPROCS.
+func RunParallel(ix *Index, p Params, workers int, m *metrics.Counters) (*cluster.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := ix.Len()
+	res := cluster.NewResult(n)
+	visited := make([]bool, n)
+	var cid int32
+
+	// searchBatch fans the ε-searches of batch out to the pool and returns
+	// the neighborhoods, aligned with batch.
+	results := make([][]int32, 0, 1024)
+	searchBatch := func(batch []int32) [][]int32 {
+		results = results[:0]
+		for range batch {
+			results = append(results, nil)
+		}
+		if len(batch) == 1 { // avoid goroutine overhead on tiny frontiers
+			results[0] = ix.NeighborSearch(ix.Pts[batch[0]], p.Eps, m, nil)
+			return results
+		}
+		var wg sync.WaitGroup
+		chunk := (len(batch) + workers - 1) / workers
+		for w := 0; w < workers && w*chunk < len(batch); w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > len(batch) {
+				hi = len(batch)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					results[i] = ix.NeighborSearch(ix.Pts[batch[i]], p.Eps, m, nil)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		return results
+	}
+
+	frontier := make([]int32, 0, 1024)
+	next := make([]int32, 0, 1024)
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		seed := ix.NeighborSearch(ix.Pts[i], p.Eps, m, nil)
+		if len(seed) < p.MinPts {
+			res.Labels[i] = cluster.Noise
+			continue
+		}
+		cid++
+		res.Labels[i] = cid
+		frontier = frontier[:0]
+		for _, k := range seed {
+			if !visited[k] {
+				visited[k] = true
+				frontier = append(frontier, k)
+			}
+			if res.Labels[k] <= 0 {
+				res.Labels[k] = cid
+			}
+		}
+		// Level-synchronous expansion: search the whole frontier in
+		// parallel, then absorb sequentially (the master).
+		for len(frontier) > 0 {
+			neighborhoods := searchBatch(frontier)
+			next = next[:0]
+			for bi := range frontier {
+				if len(neighborhoods[bi]) < p.MinPts {
+					continue
+				}
+				for _, k := range neighborhoods[bi] {
+					if !visited[k] {
+						visited[k] = true
+						next = append(next, k)
+					}
+					if res.Labels[k] <= 0 {
+						res.Labels[k] = cid
+					}
+				}
+			}
+			frontier, next = next, frontier
+		}
+	}
+	res.NumClusters = int(cid)
+	return res, nil
+}

@@ -1,0 +1,88 @@
+package dbscan
+
+import (
+	"testing"
+
+	"vdbscan/internal/cluster"
+	"vdbscan/internal/geom"
+	"vdbscan/internal/metrics"
+)
+
+func TestRunParallelValidation(t *testing.T) {
+	ix := BuildIndex([]geom.Point{{X: 0, Y: 0}}, IndexOptions{})
+	if _, err := RunParallel(ix, Params{Eps: 0, MinPts: 4}, 2, nil); err == nil {
+		t.Error("bad params accepted")
+	}
+}
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		pts  []geom.Point
+		p    Params
+	}{
+		{"blobs", blobs(4, 200, 100, 30, 0.7, 100), Params{Eps: 0.8, MinPts: 4}},
+		{"dense", blobs(2, 500, 50, 15, 0.4, 101), Params{Eps: 0.4, MinPts: 8}},
+		{"noise-heavy", blobs(1, 100, 500, 25, 0.5, 102), Params{Eps: 1, MinPts: 6}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ix := BuildIndex(tc.pts, IndexOptions{R: 16})
+			want, err := Run(ix, tc.p, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{0, 1, 4, 16} {
+				got, err := RunParallel(ix, tc.p, workers, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.NumClusters != want.NumClusters {
+					t.Errorf("workers=%d: clusters %d vs %d", workers, got.NumClusters, want.NumClusters)
+				}
+				if d := cluster.DisagreementCount(got, want); d > len(tc.pts)/200 {
+					t.Errorf("workers=%d: disagreements = %d", workers, d)
+				}
+			}
+		})
+	}
+}
+
+func TestRunParallelEmptyAndDegenerate(t *testing.T) {
+	ix := BuildIndex(nil, IndexOptions{})
+	res, err := RunParallel(ix, Params{Eps: 1, MinPts: 4}, 4, nil)
+	if err != nil || res.Len() != 0 {
+		t.Fatalf("empty: %v %v", res, err)
+	}
+	ix = BuildIndex([]geom.Point{{X: 1, Y: 1}}, IndexOptions{})
+	res, _ = RunParallel(ix, Params{Eps: 1, MinPts: 2}, 4, nil)
+	if res.NumNoise() != 1 {
+		t.Error("single point should be noise")
+	}
+}
+
+func TestRunParallelSearchCountMatches(t *testing.T) {
+	// Level-synchronous expansion must still search each point exactly once.
+	pts := blobs(3, 200, 100, 25, 0.6, 103)
+	ix := BuildIndex(pts, IndexOptions{R: 16})
+	var m metrics.Counters
+	if _, err := RunParallel(ix, Params{Eps: 0.7, MinPts: 4}, 4, &m); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Snapshot().NeighborSearches; got != int64(len(pts)) {
+		t.Errorf("searches = %d, want %d", got, len(pts))
+	}
+}
+
+func TestRunParallelAllLabeled(t *testing.T) {
+	pts := blobs(3, 150, 150, 25, 0.6, 104)
+	ix := BuildIndex(pts, IndexOptions{R: 16})
+	res, err := RunParallel(ix, Params{Eps: 0.7, MinPts: 4}, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range res.Labels {
+		if l == cluster.Unclassified {
+			t.Fatalf("point %d unclassified", i)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package gridindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"vdbscan/internal/cluster"
+	"vdbscan/internal/dbscan"
+	"vdbscan/internal/geom"
+	"vdbscan/internal/metrics"
+)
+
+func blobs(k, m, noise int, extent, sigma float64, seed int64) []geom.Point {
+	rnd := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, 0, k*m+noise)
+	for c := 0; c < k; c++ {
+		cx, cy := rnd.Float64()*extent, rnd.Float64()*extent
+		for i := 0; i < m; i++ {
+			pts = append(pts, geom.Point{
+				X: cx + rnd.NormFloat64()*sigma,
+				Y: cy + rnd.NormFloat64()*sigma,
+			})
+		}
+	}
+	for i := 0; i < noise; i++ {
+		pts = append(pts, geom.Point{X: rnd.Float64() * extent, Y: rnd.Float64() * extent})
+	}
+	return pts
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, 0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	ix, err := Build(nil, 1)
+	if err != nil || ix.Len() != 0 {
+		t.Fatalf("empty build: %v %v", ix, err)
+	}
+	got, err := ix.NeighborSearch(geom.Point{X: 0, Y: 0}, 1, nil, nil)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty search: %v %v", got, err)
+	}
+}
+
+func TestNeighborSearchMatchesLinear(t *testing.T) {
+	pts := blobs(3, 300, 100, 30, 0.8, 1)
+	const eps = 1.2
+	ix, err := Build(pts, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		q := geom.Point{X: rnd.Float64() * 30, Y: rnd.Float64() * 30}
+		searchEps := eps
+		if trial%2 == 0 {
+			searchEps = eps * rnd.Float64() // smaller eps is allowed
+		}
+		if searchEps == 0 {
+			continue
+		}
+		got, err := ix.NeighborSearch(q, searchEps, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, p := range pts {
+			if q.DistSq(p) <= searchEps*searchEps {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("search(%v, %g) = %d, want %d", q, searchEps, len(got), want)
+		}
+	}
+}
+
+func TestNeighborSearchRejectsLargerEps(t *testing.T) {
+	ix, _ := Build([]geom.Point{{X: 0, Y: 0}}, 1)
+	if _, err := ix.NeighborSearch(geom.Point{X: 0, Y: 0}, 2, nil, nil); err == nil {
+		t.Error("eps > build eps accepted")
+	}
+}
+
+func TestRunMatchesRTreeDBSCAN(t *testing.T) {
+	pts := blobs(4, 200, 150, 30, 0.7, 3)
+	p := dbscan.Params{Eps: 0.9, MinPts: 4}
+	gix, err := Build(pts, p.Eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(gix, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rix := dbscan.BuildIndex(pts, dbscan.IndexOptions{R: 16})
+	wantSorted, err := dbscan.Run(rix, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantSorted.Remap(rix.Fwd)
+	if got.NumClusters != want.NumClusters {
+		t.Fatalf("clusters: grid %d vs rtree %d", got.NumClusters, want.NumClusters)
+	}
+	if got.NumNoise() != want.NumNoise() {
+		t.Fatalf("noise: grid %d vs rtree %d", got.NumNoise(), want.NumNoise())
+	}
+	if d := cluster.DisagreementCount(got, want); d > len(pts)/200 {
+		t.Fatalf("disagreements = %d", d)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ix, _ := Build(blobs(1, 50, 0, 10, 0.5, 4), 1)
+	if _, err := Run(ix, dbscan.Params{Eps: 0, MinPts: 3}, nil); err == nil {
+		t.Error("bad params accepted")
+	}
+	if _, err := Run(ix, dbscan.Params{Eps: 2, MinPts: 3}, nil); err == nil {
+		t.Error("eps > build eps accepted")
+	}
+}
+
+func TestMetricsAndStats(t *testing.T) {
+	pts := blobs(2, 200, 50, 20, 0.5, 5)
+	ix, _ := Build(pts, 1)
+	var m metrics.Counters
+	if _, err := Run(ix, dbscan.Params{Eps: 1, MinPts: 4}, &m); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	if s.NeighborSearches != int64(len(pts)) {
+		t.Errorf("searches = %d, want %d", s.NeighborSearches, len(pts))
+	}
+	if s.CandidatesExamined < s.NeighborsFound {
+		t.Error("candidates < found")
+	}
+	gs := ix.Stats()
+	if gs.Cells <= 0 || gs.NonEmpty <= 0 || gs.MaxPerCell <= 0 {
+		t.Errorf("stats = %+v", gs)
+	}
+	if gs.Cols*gs.Rows != gs.Cells {
+		t.Errorf("cell count mismatch: %+v", gs)
+	}
+}
+
+func TestSinglePointAndDuplicates(t *testing.T) {
+	ix, _ := Build([]geom.Point{{X: 5, Y: 5}}, 1)
+	res, err := Run(ix, dbscan.Params{Eps: 1, MinPts: 1}, nil)
+	if err != nil || res.NumClusters != 1 {
+		t.Fatalf("single: %v %v", res, err)
+	}
+	dup := make([]geom.Point, 30)
+	for i := range dup {
+		dup[i] = geom.Point{X: 2, Y: 2}
+	}
+	ix, _ = Build(dup, 0.5)
+	res, _ = Run(ix, dbscan.Params{Eps: 0.5, MinPts: 4}, nil)
+	if res.NumClusters != 1 || res.NumClustered() != 30 {
+		t.Fatalf("duplicates: %v", res)
+	}
+}

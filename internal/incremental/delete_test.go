@@ -1,0 +1,193 @@
+package incremental
+
+import (
+	"math/rand"
+	"testing"
+
+	"vdbscan/internal/cluster"
+	"vdbscan/internal/dbscan"
+	"vdbscan/internal/geom"
+)
+
+// liveEquivalent compares the incremental clustering restricted to live
+// points against batch DBSCAN over the same live points.
+func liveEquivalent(t *testing.T, c *Clusterer, pts []geom.Point, dead map[int]bool) {
+	t.Helper()
+	var live []geom.Point
+	var liveIdx []int
+	for i, p := range pts {
+		if !dead[i] {
+			live = append(live, p)
+			liveIdx = append(liveIdx, i)
+		}
+	}
+	want, err := dbscan.RunBruteForce(live, c.Params(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := c.Labels()
+	got := cluster.NewResult(len(live))
+	remap := map[int32]int32{}
+	var next int32
+	for li, oi := range liveIdx {
+		l := full.Labels[oi]
+		if l <= 0 {
+			got.Labels[li] = cluster.Noise
+			continue
+		}
+		id, ok := remap[l]
+		if !ok {
+			next++
+			id = next
+			remap[l] = id
+		}
+		got.Labels[li] = id
+	}
+	got.NumClusters = int(next)
+	if got.NumClusters != want.NumClusters {
+		t.Fatalf("live clusters: incremental %d, batch %d", got.NumClusters, want.NumClusters)
+	}
+	if got.NumNoise() != want.NumNoise() {
+		t.Fatalf("live noise: incremental %d, batch %d", got.NumNoise(), want.NumNoise())
+	}
+	if d := cluster.DisagreementCount(got, want); d > len(live)/100 {
+		t.Fatalf("disagreements = %d of %d", d, len(live))
+	}
+}
+
+func TestDeleteValidation(t *testing.T) {
+	c, _ := New(dbscan.Params{Eps: 1, MinPts: 3}, nil)
+	if err := c.Delete(0); err == nil {
+		t.Error("delete from empty accepted")
+	}
+	c.Insert(geom.Point{X: 1, Y: 1})
+	if err := c.Delete(5); err == nil {
+		t.Error("out-of-range accepted")
+	}
+	if err := c.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(0); err == nil {
+		t.Error("double delete accepted")
+	}
+	if c.LiveLen() != 0 || c.Len() != 1 {
+		t.Errorf("live=%d len=%d", c.LiveLen(), c.Len())
+	}
+}
+
+func TestDeleteNoisePointIsLocal(t *testing.T) {
+	c, _ := New(dbscan.Params{Eps: 1, MinPts: 3}, nil)
+	pts := []geom.Point{
+		{X: 0, Y: 0}, {X: 0.5, Y: 0}, {X: 0.25, Y: 0.4}, // cluster
+		{X: 50, Y: 50}, // noise
+	}
+	c.InsertBatch(pts)
+	if err := c.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	res := c.Labels()
+	if res.NumClusters != 1 {
+		t.Fatalf("after noise delete: %v", res)
+	}
+	liveEquivalent(t, c, pts, map[int]bool{3: true})
+}
+
+func TestDeleteDissolvesCluster(t *testing.T) {
+	// A minimal cluster (3 points, minpts 3): deleting any member demotes
+	// the cores and the remnants become noise.
+	c, _ := New(dbscan.Params{Eps: 1, MinPts: 3}, nil)
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 0.5, Y: 0}, {X: 0.25, Y: 0.4}}
+	c.InsertBatch(pts)
+	if res := c.Labels(); res.NumClusters != 1 {
+		t.Fatalf("setup: %v", res)
+	}
+	if err := c.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	res := c.Labels()
+	if res.NumClusters != 0 {
+		t.Fatalf("after delete: %v", res)
+	}
+	liveEquivalent(t, c, pts, map[int]bool{1: true})
+}
+
+func TestDeleteSplitsCluster(t *testing.T) {
+	// Two triads joined by a bridge core: deleting the bridge splits the
+	// cluster into two.
+	c, _ := New(dbscan.Params{Eps: 1, MinPts: 3}, nil)
+	pts := []geom.Point{
+		{X: 0, Y: 0}, {X: 0.5, Y: 0}, {X: 0.25, Y: 0.4},
+		{X: 2.4, Y: 0}, {X: 2.9, Y: 0}, {X: 2.65, Y: 0.4},
+		{X: 1.45, Y: 0}, // bridge
+	}
+	c.InsertBatch(pts)
+	if res := c.Labels(); res.NumClusters != 1 {
+		t.Fatalf("setup: %v", res)
+	}
+	if err := c.Delete(6); err != nil {
+		t.Fatal(err)
+	}
+	res := c.Labels()
+	if res.NumClusters != 2 {
+		t.Fatalf("split expected 2 clusters: %v", res)
+	}
+	liveEquivalent(t, c, pts, map[int]bool{6: true})
+}
+
+func TestDeleteInsertChurnMatchesBatch(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	p := dbscan.Params{Eps: 1.2, MinPts: 4}
+	c, _ := New(p, nil)
+	var pts []geom.Point
+	dead := map[int]bool{}
+	centers := []geom.Point{{X: 5, Y: 5}, {X: 14, Y: 6}, {X: 9, Y: 14}}
+	for step := 0; step < 300; step++ {
+		if step > 40 && rnd.Float64() < 0.3 {
+			// Delete a random live point.
+			for {
+				i := rnd.Intn(len(pts))
+				if !dead[i] {
+					if err := c.Delete(i); err != nil {
+						t.Fatal(err)
+					}
+					dead[i] = true
+					break
+				}
+			}
+		} else {
+			var pt geom.Point
+			if rnd.Float64() < 0.8 {
+				ctr := centers[rnd.Intn(len(centers))]
+				pt = geom.Point{X: ctr.X + rnd.NormFloat64(), Y: ctr.Y + rnd.NormFloat64()}
+			} else {
+				pt = geom.Point{X: rnd.Float64() * 20, Y: rnd.Float64() * 20}
+			}
+			pts = append(pts, pt)
+			c.Insert(pt)
+		}
+		if (step+1)%50 == 0 {
+			liveEquivalent(t, c, pts, dead)
+		}
+	}
+	liveEquivalent(t, c, pts, dead)
+}
+
+func TestDeleteEverything(t *testing.T) {
+	c, _ := New(dbscan.Params{Eps: 1, MinPts: 3}, nil)
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 0.5, Y: 0}, {X: 0.25, Y: 0.4}, {X: 0.5, Y: 0.4}}
+	c.InsertBatch(pts)
+	for i := range pts {
+		if err := c.Delete(i); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	res := c.Labels()
+	if res.NumClusters != 0 || c.LiveLen() != 0 {
+		t.Fatalf("after draining: %v live=%d", res, c.LiveLen())
+	}
+	// The structure remains usable.
+	c.InsertBatch(pts)
+	if res := c.Labels(); res.NumClusters != 1 {
+		t.Fatalf("reuse after drain: %v", res)
+	}
+}

@@ -1,0 +1,66 @@
+package incremental
+
+import (
+	"testing"
+
+	"vdbscan/internal/cluster"
+	"vdbscan/internal/dbscan"
+	"vdbscan/internal/geom"
+	"vdbscan/internal/tec"
+)
+
+// TestSlidingWindowTEC is the regression test for the duplicate-coordinate
+// deletion bug: tec.Simulate reuses receiver geometry across epochs, so the
+// stream contains exact duplicate points; deleting by value instead of by
+// index desynchronized the tree from the count/core bookkeeping and
+// fragmented the clustering (hundreds of phantom clusters).
+func TestSlidingWindowTEC(t *testing.T) {
+	p := dbscan.Params{Eps: 2.5, MinPts: 8}
+	c, _ := New(p, nil)
+	var history []geom.Point
+	oldest := 0
+	for batch := 0; batch < 4; batch++ {
+		ds, err := tec.Simulate(tec.Config{N: 1000, Seed: 99, Time: float64(batch) * 0.25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.InsertBatch(ds.Points)
+		history = append(history, ds.Points...)
+		for c.LiveLen() > 2000 {
+			if err := c.Delete(oldest); err != nil {
+				t.Fatal(err)
+			}
+			oldest++
+		}
+		live := history[oldest:]
+		want, _ := dbscan.RunBruteForce(live, p, nil)
+		full := c.Labels()
+		got := cluster.NewResult(len(live))
+		remap := map[int32]int32{}
+		var next int32
+		for li := range live {
+			l := full.Labels[oldest+li]
+			if l <= 0 {
+				got.Labels[li] = cluster.Noise
+				continue
+			}
+			id, ok := remap[l]
+			if !ok {
+				next++
+				id = next
+				remap[l] = id
+			}
+			got.Labels[li] = id
+		}
+		got.NumClusters = int(next)
+		if got.NumClusters != want.NumClusters {
+			t.Fatalf("batch %d: clusters %d vs batch %d", batch, got.NumClusters, want.NumClusters)
+		}
+		if got.NumNoise() != want.NumNoise() {
+			t.Fatalf("batch %d: noise %d vs batch %d", batch, got.NumNoise(), want.NumNoise())
+		}
+		if d := cluster.DisagreementCount(got, want); d > len(live)/100 {
+			t.Fatalf("batch %d: disagreements = %d", batch, d)
+		}
+	}
+}

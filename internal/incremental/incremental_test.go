@@ -1,0 +1,225 @@
+package incremental
+
+import (
+	"math/rand"
+	"testing"
+
+	"vdbscan/internal/cluster"
+	"vdbscan/internal/dbscan"
+	"vdbscan/internal/geom"
+	"vdbscan/internal/metrics"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(dbscan.Params{Eps: 0, MinPts: 4}, nil); err == nil {
+		t.Error("bad params accepted")
+	}
+	c, err := New(dbscan.Params{Eps: 1, MinPts: 3}, nil)
+	if err != nil || c.Len() != 0 {
+		t.Fatalf("New: %v %v", c, err)
+	}
+	if c.String() == "" {
+		t.Error("String empty")
+	}
+	if c.Params().MinPts != 3 {
+		t.Error("Params lost")
+	}
+}
+
+// batchEquivalent asserts the incremental labels match batch DBSCAN over
+// the same points, up to border-point ties.
+func batchEquivalent(t *testing.T, c *Clusterer, pts []geom.Point) {
+	t.Helper()
+	got := c.Labels()
+	want, err := dbscan.RunBruteForce(pts, c.Params(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumClusters != want.NumClusters {
+		t.Fatalf("after %d inserts: incremental %d clusters, batch %d",
+			len(pts), got.NumClusters, want.NumClusters)
+	}
+	if got.NumNoise() != want.NumNoise() {
+		// Border ties can flip noise<->border only when a point is within
+		// eps of a core in one run but not the other — impossible here, so
+		// noise counts must agree exactly.
+		t.Fatalf("after %d inserts: incremental %d noise, batch %d",
+			len(pts), got.NumNoise(), want.NumNoise())
+	}
+	if d := cluster.DisagreementCount(got, want); d > len(pts)/100 {
+		t.Fatalf("after %d inserts: %d disagreements", len(pts), d)
+	}
+}
+
+func TestClusterCreation(t *testing.T) {
+	c, _ := New(dbscan.Params{Eps: 1, MinPts: 3}, nil)
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 0.5, Y: 0}}
+	c.InsertBatch(pts)
+	res := c.Labels()
+	if res.NumClusters != 0 || res.NumNoise() != 2 {
+		t.Fatalf("pre-creation: %v", res)
+	}
+	// Third point promotes all three into one new cluster.
+	pts = append(pts, geom.Point{X: 0.25, Y: 0.4})
+	c.Insert(pts[2])
+	res = c.Labels()
+	if res.NumClusters != 1 || res.NumNoise() != 0 {
+		t.Fatalf("creation: %v", res)
+	}
+	batchEquivalent(t, c, pts)
+}
+
+func TestAbsorption(t *testing.T) {
+	c, _ := New(dbscan.Params{Eps: 1, MinPts: 3}, nil)
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 0.5, Y: 0}, {X: 0.25, Y: 0.4}, {X: 1.2, Y: 0}}
+	c.InsertBatch(pts)
+	res := c.Labels()
+	if res.NumClusters != 1 {
+		t.Fatalf("absorption: %v", res)
+	}
+	if res.Labels[3] == cluster.Noise {
+		t.Error("new point near cluster should be absorbed")
+	}
+	batchEquivalent(t, c, pts)
+}
+
+func TestMergeTwoClusters(t *testing.T) {
+	c, _ := New(dbscan.Params{Eps: 1, MinPts: 3}, nil)
+	// Two triads 2.4 apart (disconnected at eps=1).
+	pts := []geom.Point{
+		{X: 0, Y: 0}, {X: 0.5, Y: 0}, {X: 0.25, Y: 0.4},
+		{X: 2.4, Y: 0}, {X: 2.9, Y: 0}, {X: 2.65, Y: 0.4},
+	}
+	c.InsertBatch(pts)
+	if res := c.Labels(); res.NumClusters != 2 {
+		t.Fatalf("setup: %v", res)
+	}
+	// A bridging point within eps of both triads' edges becomes core and
+	// merges them.
+	bridge := geom.Point{X: 1.45, Y: 0}
+	pts = append(pts, bridge)
+	c.Insert(bridge)
+	res := c.Labels()
+	if res.NumClusters != 1 {
+		t.Fatalf("merge: %v", res)
+	}
+	batchEquivalent(t, c, pts)
+}
+
+func TestBorderDoesNotMerge(t *testing.T) {
+	// A non-core point within eps of two clusters is a border tie, not a
+	// merge (minpts high enough that the bridge is not core).
+	c, _ := New(dbscan.Params{Eps: 1, MinPts: 4}, nil)
+	pts := []geom.Point{
+		{X: 0, Y: 0}, {X: 0.5, Y: 0}, {X: 0.25, Y: 0.4}, {X: 0.25, Y: -0.4},
+		{X: 3, Y: 0}, {X: 3.5, Y: 0}, {X: 3.25, Y: 0.4}, {X: 3.25, Y: -0.4},
+	}
+	c.InsertBatch(pts)
+	if res := c.Labels(); res.NumClusters != 2 {
+		t.Fatalf("setup: %v", res)
+	}
+	// Bridge at 1.75: within eps=1 of x=0.5+... actually distance to
+	// nearest member of each cluster: 1.25 > eps, so place at 1.45 and
+	// 2.05? Use two noise points that stay non-core.
+	bridge := geom.Point{X: 1.75, Y: 0}
+	pts = append(pts, bridge)
+	c.Insert(bridge)
+	res := c.Labels()
+	if res.NumClusters != 2 {
+		t.Fatalf("border bridge merged clusters: %v", res)
+	}
+	batchEquivalent(t, c, pts)
+}
+
+func TestIncrementalMatchesBatchRandom(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	p := dbscan.Params{Eps: 1.2, MinPts: 4}
+	c, _ := New(p, nil)
+	var pts []geom.Point
+	centers := []geom.Point{{X: 5, Y: 5}, {X: 15, Y: 5}, {X: 10, Y: 15}}
+	for i := 0; i < 400; i++ {
+		var pt geom.Point
+		if rnd.Float64() < 0.8 {
+			ctr := centers[rnd.Intn(len(centers))]
+			pt = geom.Point{X: ctr.X + rnd.NormFloat64(), Y: ctr.Y + rnd.NormFloat64()}
+		} else {
+			pt = geom.Point{X: rnd.Float64() * 20, Y: rnd.Float64() * 20}
+		}
+		pts = append(pts, pt)
+		c.Insert(pt)
+		if (i+1)%50 == 0 {
+			batchEquivalent(t, c, pts)
+		}
+	}
+}
+
+func TestIncrementalAdversarialOrder(t *testing.T) {
+	// Insert a dense grid in an order that maximizes late merges: odd
+	// columns first, then even columns bridging them.
+	p := dbscan.Params{Eps: 1.1, MinPts: 3}
+	c, _ := New(p, nil)
+	var pts []geom.Point
+	add := func(x, y float64) {
+		pt := geom.Point{X: x, Y: y}
+		pts = append(pts, pt)
+		c.Insert(pt)
+	}
+	for x := 0; x < 10; x += 2 {
+		for y := 0; y < 5; y++ {
+			add(float64(x), float64(y))
+		}
+	}
+	batchEquivalent(t, c, pts)
+	for x := 1; x < 10; x += 2 {
+		for y := 0; y < 5; y++ {
+			add(float64(x), float64(y))
+		}
+	}
+	res := c.Labels()
+	if res.NumClusters != 1 {
+		t.Fatalf("grid should fuse into one cluster, got %d", res.NumClusters)
+	}
+	batchEquivalent(t, c, pts)
+}
+
+func TestManyClustersGrowsDSU(t *testing.T) {
+	// More clusters than the initial DSU capacity (64) forces growth.
+	p := dbscan.Params{Eps: 0.5, MinPts: 3}
+	c, _ := New(p, nil)
+	var pts []geom.Point
+	for k := 0; k < 100; k++ {
+		cx, cy := float64(k%10)*10, float64(k/10)*10
+		tri := []geom.Point{{X: cx, Y: cy}, {X: cx + 0.3, Y: cy}, {X: cx, Y: cy + 0.3}}
+		pts = append(pts, tri...)
+		c.InsertBatch(tri)
+	}
+	res := c.Labels()
+	if res.NumClusters != 100 {
+		t.Fatalf("clusters = %d, want 100", res.NumClusters)
+	}
+	batchEquivalent(t, c, pts)
+}
+
+func TestDuplicatePointsStream(t *testing.T) {
+	c, _ := New(dbscan.Params{Eps: 0.5, MinPts: 4}, nil)
+	var pts []geom.Point
+	for i := 0; i < 10; i++ {
+		pt := geom.Point{X: 1, Y: 1}
+		pts = append(pts, pt)
+		c.Insert(pt)
+	}
+	res := c.Labels()
+	if res.NumClusters != 1 || res.NumNoise() != 0 {
+		t.Fatalf("duplicates: %v", res)
+	}
+	batchEquivalent(t, c, pts)
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	var m metrics.Counters
+	c, _ := New(dbscan.Params{Eps: 1, MinPts: 3}, &m)
+	c.Insert(geom.Point{X: 0, Y: 0})
+	if m.Snapshot().NeighborSearches == 0 {
+		t.Error("no searches recorded")
+	}
+}

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCountersBasic(t *testing.T) {
+	var c Counters
+	c.AddNeighborSearches(3)
+	c.AddCandidatesExamined(100)
+	c.AddNeighborsFound(40)
+	c.AddNodesVisited(7)
+	c.AddPointsReused(500)
+	c.AddClustersReused(2)
+	c.AddClustersDestroyed(1)
+	s := c.Snapshot()
+	if s.NeighborSearches != 3 || s.CandidatesExamined != 100 ||
+		s.NeighborsFound != 40 || s.NodesVisited != 7 ||
+		s.PointsReused != 500 || s.ClustersReused != 2 || s.ClustersDestroyed != 1 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+func TestNilCountersAreNoOps(t *testing.T) {
+	var c *Counters
+	// All of these must not panic.
+	c.AddNeighborSearches(1)
+	c.AddCandidatesExamined(1)
+	c.AddNeighborsFound(1)
+	c.AddNodesVisited(1)
+	c.AddPointsReused(1)
+	c.AddClustersReused(1)
+	c.AddClustersDestroyed(1)
+	c.Reset()
+	if s := c.Snapshot(); s != (Snapshot{}) {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var c Counters
+	c.AddNeighborSearches(5)
+	c.Reset()
+	if s := c.Snapshot(); s != (Snapshot{}) {
+		t.Errorf("after reset: %+v", s)
+	}
+}
+
+func TestSubAdd(t *testing.T) {
+	a := Snapshot{NeighborSearches: 10, CandidatesExamined: 100, PointsReused: 7}
+	b := Snapshot{NeighborSearches: 4, CandidatesExamined: 40, PointsReused: 2}
+	d := a.Sub(b)
+	if d.NeighborSearches != 6 || d.CandidatesExamined != 60 || d.PointsReused != 5 {
+		t.Errorf("Sub = %+v", d)
+	}
+	if got := b.Add(d); got != a {
+		t.Errorf("Add round trip = %+v, want %+v", got, a)
+	}
+}
+
+func TestConcurrentAccumulation(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.AddNeighborSearches(1)
+				c.AddCandidatesExamined(2)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.NeighborSearches != workers*per {
+		t.Errorf("searches = %d, want %d", s.NeighborSearches, workers*per)
+	}
+	if s.CandidatesExamined != 2*workers*per {
+		t.Errorf("candidates = %d, want %d", s.CandidatesExamined, 2*workers*per)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	if s := (Snapshot{NeighborSearches: 1}).String(); s == "" {
+		t.Error("String empty")
+	}
+}

@@ -1,0 +1,208 @@
+// Package optics implements OPTICS (Ankerst, Breunig, Kriegel, Sander;
+// SIGMOD 1999) — the related-work alternative the paper discusses in §III:
+// given a maximum radius δ and a fixed minpts, OPTICS produces a cluster
+// ordering from which a DBSCAN-equivalent clustering can be extracted for
+// any ε ≤ δ.
+//
+// The paper's point stands: OPTICS covers an ε-sweep at ONE minpts, whereas
+// VariantDBSCAN handles arbitrary (ε, minpts) sets. This package exists as
+// the comparison baseline for ε-only variant sets (see the ablation
+// benchmarks) and to cross-validate the DBSCAN implementation.
+package optics
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"vdbscan/internal/cluster"
+	"vdbscan/internal/dbscan"
+	"vdbscan/internal/metrics"
+)
+
+// Undefined marks an undefined reachability or core distance.
+var Undefined = math.Inf(1)
+
+// Entry is one element of the cluster ordering.
+type Entry struct {
+	// Point is the point index (in the index's sorted space).
+	Point int32
+	// Reachability is the reachability distance at ordering time
+	// (Undefined for the first point of each connected component).
+	Reachability float64
+	// CoreDist is the point's core distance (Undefined when the point has
+	// fewer than minpts neighbors within δ).
+	CoreDist float64
+}
+
+// Ordering is the OPTICS output: a permutation of all points with
+// reachability information, valid for extracting clusterings at any ε ≤ δ.
+type Ordering struct {
+	Entries []Entry
+	Delta   float64
+	MinPts  int
+}
+
+// Run computes the cluster ordering for the index under (δ, minpts).
+// m may be nil.
+func Run(ix *dbscan.Index, delta float64, minPts int, m *metrics.Counters) (*Ordering, error) {
+	if delta <= 0 {
+		return nil, fmt.Errorf("optics: delta must be > 0, got %g", delta)
+	}
+	if minPts < 1 {
+		return nil, fmt.Errorf("optics: minpts must be >= 1, got %d", minPts)
+	}
+	n := ix.Len()
+	ord := &Ordering{Entries: make([]Entry, 0, n), Delta: delta, MinPts: minPts}
+	processed := make([]bool, n)
+	reach := make([]float64, n)
+	for i := range reach {
+		reach[i] = Undefined
+	}
+
+	var scratch []int32
+	var dists []float64
+	// coreDistOf computes the core distance from a freshly fetched
+	// neighborhood (distance to the minpts-th nearest neighbor, counting
+	// the point itself per the original definition's ε-neighborhood).
+	coreDistOf := func(p int32, neigh []int32) float64 {
+		if len(neigh) < minPts {
+			return Undefined
+		}
+		dists = dists[:0]
+		for _, q := range neigh {
+			dists = append(dists, ix.Pts[p].Dist(ix.Pts[q]))
+		}
+		sort.Float64s(dists)
+		return dists[minPts-1]
+	}
+
+	pq := &seedQueue{pos: make([]int, n)}
+	for i := range pq.pos {
+		pq.pos[i] = -1
+	}
+
+	update := func(center int32, coreDist float64, neigh []int32) {
+		for _, o := range neigh {
+			if processed[o] {
+				continue
+			}
+			d := ix.Pts[center].Dist(ix.Pts[o])
+			newReach := coreDist
+			if d > newReach {
+				newReach = d
+			}
+			if pq.pos[o] == -1 {
+				reach[o] = newReach
+				heap.Push(pq, seedItem{point: o, reach: newReach})
+			} else if newReach < reach[o] {
+				reach[o] = newReach
+				pq.decrease(o, newReach)
+			}
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		if processed[int32(i)] {
+			continue
+		}
+		p := int32(i)
+		scratch = ix.NeighborSearch(ix.Pts[p], delta, m, scratch[:0])
+		processed[p] = true
+		cd := coreDistOf(p, scratch)
+		ord.Entries = append(ord.Entries, Entry{Point: p, Reachability: Undefined, CoreDist: cd})
+		if cd == Undefined {
+			continue
+		}
+		update(p, cd, scratch)
+		for pq.Len() > 0 {
+			item := heap.Pop(pq).(seedItem)
+			q := item.point
+			if processed[q] {
+				continue
+			}
+			scratch = ix.NeighborSearch(ix.Pts[q], delta, m, scratch[:0])
+			processed[q] = true
+			cdq := coreDistOf(q, scratch)
+			ord.Entries = append(ord.Entries, Entry{Point: q, Reachability: reach[q], CoreDist: cdq})
+			if cdq != Undefined {
+				update(q, cdq, scratch)
+			}
+		}
+	}
+	return ord, nil
+}
+
+// ExtractDBSCAN derives the DBSCAN-equivalent clustering at ε (≤ δ) from
+// the ordering, per the extraction procedure in the OPTICS paper. Labels
+// are in the same index space as the ordering.
+func (o *Ordering) ExtractDBSCAN(eps float64) (*cluster.Result, error) {
+	if eps > o.Delta {
+		return nil, fmt.Errorf("optics: extraction eps %g exceeds ordering delta %g", eps, o.Delta)
+	}
+	res := cluster.NewResult(len(o.Entries))
+	var cid int32
+	for _, e := range o.Entries {
+		if e.Reachability > eps {
+			if e.CoreDist <= eps {
+				cid++
+				res.Labels[e.Point] = cid
+			} else {
+				res.Labels[e.Point] = cluster.Noise
+			}
+		} else if cid > 0 {
+			res.Labels[e.Point] = cid
+		} else {
+			res.Labels[e.Point] = cluster.Noise
+		}
+	}
+	res.NumClusters = int(cid)
+	return res, nil
+}
+
+// seedItem is a priority-queue element ordered by reachability.
+type seedItem struct {
+	point int32
+	reach float64
+}
+
+// seedQueue is a binary heap with decrease-key support via a position map.
+type seedQueue struct {
+	items []seedItem
+	pos   []int // pos[point] = heap index, -1 when absent
+}
+
+func (q *seedQueue) Len() int { return len(q.items) }
+func (q *seedQueue) Less(a, b int) bool {
+	if q.items[a].reach != q.items[b].reach {
+		return q.items[a].reach < q.items[b].reach
+	}
+	return q.items[a].point < q.items[b].point // deterministic tie-break
+}
+func (q *seedQueue) Swap(a, b int) {
+	q.items[a], q.items[b] = q.items[b], q.items[a]
+	q.pos[q.items[a].point] = a
+	q.pos[q.items[b].point] = b
+}
+func (q *seedQueue) Push(x any) {
+	item := x.(seedItem)
+	q.pos[item.point] = len(q.items)
+	q.items = append(q.items, item)
+}
+func (q *seedQueue) Pop() any {
+	item := q.items[len(q.items)-1]
+	q.items = q.items[:len(q.items)-1]
+	q.pos[item.point] = -1
+	return item
+}
+
+// decrease lowers a queued point's reachability and restores heap order.
+func (q *seedQueue) decrease(point int32, reach float64) {
+	i := q.pos[point]
+	if i < 0 {
+		return
+	}
+	q.items[i].reach = reach
+	heap.Fix(q, i)
+}

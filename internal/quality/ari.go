@@ -1,0 +1,79 @@
+package quality
+
+import (
+	"fmt"
+
+	"vdbscan/internal/cluster"
+)
+
+// ARI computes the Adjusted Rand Index between two clusterings — a second,
+// widely used external measure complementing the paper's per-point Jaccard
+// score. ARI is 1 for identical partitions, ~0 for independent ones, and
+// can be negative for adversarial disagreement.
+//
+// Noise points are treated as singletons (each its own cluster), the
+// convention that punishes both spurious merging of noise and spurious
+// fragmentation of clusters.
+func ARI(a, b *cluster.Result) (float64, error) {
+	n := a.Len()
+	if b.Len() != n {
+		return 0, fmt.Errorf("quality: length mismatch %d vs %d", n, b.Len())
+	}
+	if n == 0 {
+		return 1, nil
+	}
+
+	// Relabel with noise-as-singletons: noise point i gets its own label.
+	labelsOf := func(r *cluster.Result) []int32 {
+		out := make([]int32, n)
+		next := int32(r.NumClusters)
+		for i, l := range r.Labels {
+			if l > 0 {
+				out[i] = l - 1
+			} else {
+				out[i] = next
+				next++
+			}
+		}
+		return out
+	}
+	la, lb := labelsOf(a), labelsOf(b)
+
+	// Contingency table and marginals.
+	type pair struct{ x, y int32 }
+	joint := make(map[pair]int64)
+	ma := make(map[int32]int64)
+	mb := make(map[int32]int64)
+	for i := 0; i < n; i++ {
+		joint[pair{la[i], lb[i]}]++
+		ma[la[i]]++
+		mb[lb[i]]++
+	}
+	choose2 := func(x int64) float64 { return float64(x) * float64(x-1) / 2 }
+
+	var sumJoint, sumA, sumB float64
+	for _, c := range joint {
+		sumJoint += choose2(c)
+	}
+	for _, c := range ma {
+		sumA += choose2(c)
+	}
+	for _, c := range mb {
+		sumB += choose2(c)
+	}
+	total := choose2(int64(n))
+	if total == 0 {
+		return 1, nil
+	}
+	expected := sumA * sumB / total
+	max := (sumA + sumB) / 2
+	if max == expected {
+		// Both partitions are all-singletons (or degenerate): identical
+		// iff the joint matches; define ARI = 1 in that case, else 0.
+		if sumJoint == max {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return (sumJoint - expected) / (max - expected), nil
+}

@@ -1,0 +1,89 @@
+// Package quality implements the result-quality metric of paper §V-D
+// (following Januzaj, Kriegel & Pfeifle's DBDC, EDBT 2004) used for
+// Figure 7c: comparing the per-point cluster/noise assignments of
+// VariantDBSCAN against plain DBSCAN.
+//
+// Per point:
+//
+//   - misidentified noise (noise in exactly one of the two results) → 0;
+//   - noise in both → 1 (the assignments agree);
+//   - clustered in both → Jaccard similarity |E ∩ F| / |E ∪ F| of the two
+//     clusters E (reference) and F (candidate) containing the point.
+//
+// The variant's quality score is the average over all points. The paper
+// reports every average ≥ 0.998.
+package quality
+
+import (
+	"fmt"
+
+	"vdbscan/internal/cluster"
+)
+
+// Score computes the average quality of candidate versus reference. The two
+// results must label the same points in the same index space.
+func Score(reference, candidate *cluster.Result) (float64, error) {
+	n := reference.Len()
+	if candidate.Len() != n {
+		return 0, fmt.Errorf("quality: length mismatch %d vs %d", n, candidate.Len())
+	}
+	if n == 0 {
+		return 1, nil
+	}
+
+	// Pre-compute cluster sizes and pairwise overlaps |E ∩ F| so that each
+	// point's Jaccard score is an O(1) lookup: for point i in clusters
+	// (e, f), |E ∪ F| = |E| + |F| − |E ∩ F|.
+	refSizes := reference.Sizes()
+	candSizes := candidate.Sizes()
+	type pair struct{ e, f int32 }
+	overlap := make(map[pair]int)
+	for i := 0; i < n; i++ {
+		e, f := reference.Labels[i], candidate.Labels[i]
+		if e > 0 && f > 0 {
+			overlap[pair{e, f}]++
+		}
+	}
+
+	var sum float64
+	for i := 0; i < n; i++ {
+		e, f := reference.Labels[i], candidate.Labels[i]
+		eNoise, fNoise := e == cluster.Noise, f == cluster.Noise
+		switch {
+		case eNoise && fNoise:
+			sum += 1
+		case eNoise || fNoise:
+			// Misidentified as noise (or non-noise): score 0.
+		default:
+			inter := overlap[pair{e, f}]
+			union := refSizes[e-1] + candSizes[f-1] - inter
+			if union > 0 {
+				sum += float64(inter) / float64(union)
+			}
+		}
+	}
+	return sum / float64(n), nil
+}
+
+// MustScore is Score for callers with statically matched inputs; it panics
+// on length mismatch.
+func MustScore(reference, candidate *cluster.Result) float64 {
+	s, err := Score(reference, candidate)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Mean averages a slice of per-variant scores (Figure 7c plots the average
+// across all |V| variants).
+func Mean(scores []float64) float64 {
+	if len(scores) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range scores {
+		sum += s
+	}
+	return sum / float64(len(scores))
+}

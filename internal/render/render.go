@@ -1,0 +1,196 @@
+// Package render draws ASCII density maps of point sets and clusterings —
+// a dependency-free way to eyeball TEC maps, synthetic datasets, and
+// cluster structure from the CLI and examples (the textual counterpart of
+// the paper's Figure 1).
+package render
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"vdbscan/internal/cluster"
+	"vdbscan/internal/geom"
+)
+
+// shades maps relative density to characters, light to dark.
+var shades = []byte(" .:-=+*#%@")
+
+// glyphs label clusters in cluster view; noise is '.', empty is ' '.
+const glyphs = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+
+// Options configures rendering.
+type Options struct {
+	// Width and Height are the character-grid dimensions (default 72×24).
+	Width, Height int
+	// Bounds fixes the world window; the points' bounding box when empty.
+	Bounds geom.MBB
+}
+
+func (o Options) withDefaults(pts []geom.Point) Options {
+	if o.Width <= 0 {
+		o.Width = 72
+	}
+	if o.Height <= 0 {
+		o.Height = 24
+	}
+	if o.Bounds.IsEmpty() || o.Bounds == (geom.MBB{}) {
+		o.Bounds = geom.MBBOfPoints(pts)
+	}
+	return o
+}
+
+// cellOf maps a point into the character grid; ok is false outside bounds.
+func cellOf(p geom.Point, o Options) (col, row int, ok bool) {
+	b := o.Bounds
+	w := b.MaxX - b.MinX
+	h := b.MaxY - b.MinY
+	if w <= 0 || h <= 0 || !b.ContainsPoint(p) {
+		return 0, 0, false
+	}
+	col = int((p.X - b.MinX) / w * float64(o.Width))
+	row = int((p.Y - b.MinY) / h * float64(o.Height))
+	if col >= o.Width {
+		col = o.Width - 1
+	}
+	if row >= o.Height {
+		row = o.Height - 1
+	}
+	return col, row, true
+}
+
+// Density writes an ASCII density map of pts: darker characters mean more
+// points per cell. Rows print north-up (max Y first).
+func Density(w io.Writer, pts []geom.Point, opt Options) error {
+	opt = opt.withDefaults(pts)
+	counts := make([]int, opt.Width*opt.Height)
+	max := 0
+	for _, p := range pts {
+		col, row, ok := cellOf(p, opt)
+		if !ok {
+			continue
+		}
+		idx := row*opt.Width + col
+		counts[idx]++
+		if counts[idx] > max {
+			max = counts[idx]
+		}
+	}
+	return writeGrid(w, opt, func(idx int) byte {
+		if counts[idx] == 0 {
+			return ' '
+		}
+		// Log-ish scale: sqrt compresses the dynamic range so sparse
+		// structure stays visible next to dense cores.
+		level := intSqrt(counts[idx]-1) * (len(shades) - 1) / maxLevel(max)
+		if level >= len(shades) {
+			level = len(shades) - 1
+		}
+		return shades[level]
+	})
+}
+
+func intSqrt(x int) int {
+	if x <= 0 {
+		return 0
+	}
+	r := 0
+	for (r+1)*(r+1) <= x {
+		r++
+	}
+	return r
+}
+
+func maxLevel(max int) int {
+	l := intSqrt(max - 1)
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// Clusters writes an ASCII map where each cell shows the glyph of the
+// cluster owning the plurality of its points; '.' marks noise-dominated
+// cells. Only the top len(glyphs) clusters by size get distinct glyphs;
+// smaller ones share '+'.
+func Clusters(w io.Writer, pts []geom.Point, res *cluster.Result, opt Options) error {
+	if res.Len() != len(pts) {
+		return fmt.Errorf("render: %d labels for %d points", res.Len(), len(pts))
+	}
+	opt = opt.withDefaults(pts)
+
+	// Rank clusters by size for glyph assignment.
+	glyphOf := map[int32]byte{}
+	sizes := res.Sizes()
+	type cs struct {
+		id   int32
+		size int
+	}
+	ranked := make([]cs, 0, len(sizes))
+	for i, s := range sizes {
+		ranked = append(ranked, cs{int32(i + 1), s})
+	}
+	for i := 0; i < len(ranked); i++ { // small n²: cluster count only
+		for j := i + 1; j < len(ranked); j++ {
+			if ranked[j].size > ranked[i].size {
+				ranked[i], ranked[j] = ranked[j], ranked[i]
+			}
+		}
+	}
+	for rank, c := range ranked {
+		if rank < len(glyphs) {
+			glyphOf[c.id] = glyphs[rank]
+		} else {
+			glyphOf[c.id] = '+'
+		}
+	}
+
+	// Plurality vote per cell.
+	votes := make([]map[int32]int, opt.Width*opt.Height)
+	for i, p := range pts {
+		col, row, ok := cellOf(p, opt)
+		if !ok {
+			continue
+		}
+		idx := row*opt.Width + col
+		if votes[idx] == nil {
+			votes[idx] = map[int32]int{}
+		}
+		votes[idx][res.Labels[i]]++
+	}
+	return writeGrid(w, opt, func(idx int) byte {
+		v := votes[idx]
+		if len(v) == 0 {
+			return ' '
+		}
+		var best int32
+		bestN := -1
+		for l, n := range v {
+			if n > bestN || (n == bestN && l > best) {
+				best, bestN = l, n
+			}
+		}
+		if best <= 0 {
+			return '.'
+		}
+		return glyphOf[best]
+	})
+}
+
+// writeGrid emits the framed character grid, top row = max Y.
+func writeGrid(w io.Writer, opt Options, cell func(idx int) byte) error {
+	var sb strings.Builder
+	sb.Grow((opt.Width + 3) * (opt.Height + 2))
+	border := "+" + strings.Repeat("-", opt.Width) + "+\n"
+	sb.WriteString(border)
+	for row := opt.Height - 1; row >= 0; row-- {
+		sb.WriteByte('|')
+		for col := 0; col < opt.Width; col++ {
+			sb.WriteByte(cell(row*opt.Width + col))
+		}
+		sb.WriteString("|\n")
+	}
+	sb.WriteString(border)
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

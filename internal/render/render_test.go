@@ -1,0 +1,112 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vdbscan/internal/cluster"
+	"vdbscan/internal/geom"
+)
+
+func TestDensityBasics(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 10}, {X: 10, Y: 10}, {X: 10, Y: 10}}
+	var buf bytes.Buffer
+	if err := Density(&buf, pts, Options{Width: 20, Height: 10}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 12 { // 10 rows + 2 borders
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 22 { // 20 cols + 2 borders
+			t.Fatalf("line width = %d: %q", len(l), l)
+		}
+	}
+	if !strings.ContainsAny(out, string(shades[1:])) {
+		t.Error("no density marks rendered")
+	}
+}
+
+func TestDensityEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Density(&buf, nil, Options{Width: 5, Height: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "+-----+") {
+		t.Errorf("frame missing: %q", buf.String())
+	}
+}
+
+func TestDensityDenserIsDarker(t *testing.T) {
+	// One cell with 100 points, another with 1: the dense cell must use a
+	// later (darker) shade.
+	var pts []geom.Point
+	for i := 0; i < 100; i++ {
+		pts = append(pts, geom.Point{X: 1, Y: 1})
+	}
+	pts = append(pts, geom.Point{X: 9, Y: 9})
+	var buf bytes.Buffer
+	if err := Density(&buf, pts, Options{Width: 10, Height: 10, Bounds: geom.MBB{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	darkest := strings.IndexByte(string(shades), '@')
+	if !strings.ContainsRune(out, rune(shades[darkest])) {
+		t.Error("dense cell not rendered at darkest shade")
+	}
+}
+
+func TestClustersGlyphs(t *testing.T) {
+	pts := []geom.Point{
+		{X: 1, Y: 1}, {X: 1.1, Y: 1}, {X: 1, Y: 1.1}, // cluster 1
+		{X: 8, Y: 8}, {X: 8.1, Y: 8}, // cluster 2
+		{X: 5, Y: 5}, // noise
+	}
+	res := &cluster.Result{Labels: []int32{1, 1, 1, 2, 2, cluster.Noise}, NumClusters: 2}
+	var buf bytes.Buffer
+	if err := Clusters(&buf, pts, res, Options{Width: 20, Height: 10}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Largest cluster gets 'A', second 'B', noise '.'.
+	for _, want := range []string{"A", "B", "."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClustersLabelMismatch(t *testing.T) {
+	res := &cluster.Result{Labels: []int32{1}, NumClusters: 1}
+	if err := Clusters(&bytes.Buffer{}, []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}, res, Options{}); err == nil {
+		t.Error("mismatch accepted")
+	}
+}
+
+func TestCellOfBounds(t *testing.T) {
+	opt := Options{Width: 10, Height: 10, Bounds: geom.MBB{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}}
+	// Max corner maps into the last cell, not out of range.
+	col, row, ok := cellOf(geom.Point{X: 10, Y: 10}, opt)
+	if !ok || col != 9 || row != 9 {
+		t.Errorf("max corner -> (%d,%d,%v)", col, row, ok)
+	}
+	if _, _, ok := cellOf(geom.Point{X: 11, Y: 5}, opt); ok {
+		t.Error("out-of-bounds point accepted")
+	}
+	// Degenerate bounds are rejected.
+	bad := Options{Width: 10, Height: 10, Bounds: geom.MBB{MinX: 5, MinY: 5, MaxX: 5, MaxY: 5}}
+	if _, _, ok := cellOf(geom.Point{X: 5, Y: 5}, bad); ok {
+		t.Error("degenerate bounds accepted")
+	}
+}
+
+func TestIntSqrt(t *testing.T) {
+	for _, c := range []struct{ in, want int }{{0, 0}, {1, 1}, {3, 1}, {4, 2}, {99, 9}, {100, 10}} {
+		if got := intSqrt(c.in); got != c.want {
+			t.Errorf("intSqrt(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package rtree
+
+import (
+	"testing"
+
+	"vdbscan/internal/data"
+	"vdbscan/internal/geom"
+)
+
+func TestChurnLargeTree(t *testing.T) {
+	rng := data.NewRNG(99)
+	n := 6000
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * 360, Y: rng.Float64() * 180}
+	}
+	tr := New(Options{}) // fanout 16
+	for _, p := range pts {
+		tr.Insert(p)
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	check := func(step int) {
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		// exact search vs live set at a few query points
+		for qi := 0; qi < 5; qi++ {
+			q := geom.Point{X: rng.Float64() * 360, Y: rng.Float64() * 180}
+			box := geom.QueryMBB(q, 5)
+			got := map[geom.Point]int{}
+			for _, ci := range tr.SearchCandidates(box, nil) {
+				if box.ContainsPoint(tr.Points()[ci]) {
+					got[tr.Points()[ci]]++
+				}
+			}
+			want := map[geom.Point]int{}
+			for i, p := range pts {
+				if alive[i] && box.ContainsPoint(p) {
+					want[p]++
+				}
+			}
+			for p, c := range want {
+				if got[p] != c {
+					t.Fatalf("step %d: missing point %v (got %d want %d)", step, p, got[p], c)
+				}
+			}
+			for p, c := range got {
+				if want[p] != c {
+					t.Fatalf("step %d: stale point %v", step, p)
+				}
+			}
+		}
+	}
+	for i := 0; i < 3000; i++ {
+		found, err := tr.Delete(pts[i])
+		if err != nil || !found {
+			t.Fatalf("delete %d: found=%v err=%v", i, found, err)
+		}
+		alive[i] = false
+		if i%200 == 0 {
+			check(i)
+		}
+	}
+	check(3000)
+}

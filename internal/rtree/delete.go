@@ -1,0 +1,159 @@
+package rtree
+
+import (
+	"errors"
+
+	"vdbscan/internal/geom"
+)
+
+// ErrPackedTree is returned by Delete on trees whose leaf entries cover
+// more than one point (bulk-loaded with R > 1): removing a single point
+// from a packed run would break the contiguous range mapping. Rebuild such
+// trees instead — they are designed as immutable snapshots.
+var ErrPackedTree = errors.New("rtree: cannot delete from a packed (R > 1) tree")
+
+// minFill is the underflow threshold for condense-tree.
+func (t *Tree) minFill() int { return t.fanout / 2 }
+
+// Delete removes one indexed occurrence of point p from a dynamic (r = 1)
+// tree, returning whether a matching entry was found. The backing point
+// array keeps the deleted slot (indices of other points remain stable);
+// the entry simply becomes unreachable.
+//
+// The implementation follows Guttman's delete: find the leaf, remove the
+// entry, condense the tree upward (underfull nodes are dissolved and their
+// entries reinserted), and shorten the root when it has a single child.
+func (t *Tree) Delete(p geom.Point) (bool, error) {
+	return t.delete(p, -1)
+}
+
+// DeleteIndex removes the entry for the specific point index idx (as
+// returned by Search/NearestK), which must hold point p. Unlike Delete,
+// it never removes a different entry with equal coordinates — required by
+// callers (e.g. incremental DBSCAN) whose per-index bookkeeping must stay
+// aligned with the tree under duplicate points.
+func (t *Tree) DeleteIndex(p geom.Point, idx int32) (bool, error) {
+	return t.delete(p, idx)
+}
+
+// delete removes one entry holding p; when wantIdx >= 0 only the entry
+// with that exact start index matches.
+func (t *Tree) delete(p geom.Point, wantIdx int32) (bool, error) {
+	if t.r != 1 {
+		return false, ErrPackedTree
+	}
+	leaf, entryIdx, path := t.findLeaf(t.root, p, wantIdx, nil)
+	if leaf == nil {
+		return false, nil
+	}
+	if leaf.entries[entryIdx].count != 1 {
+		return false, ErrPackedTree
+	}
+	// Remove the entry.
+	leaf.entries = append(leaf.entries[:entryIdx], leaf.entries[entryIdx+1:]...)
+	t.size--
+
+	// Condense: walk back up, dissolving underfull non-root nodes.
+	var orphans []entry
+	for i := len(path) - 1; i >= 0; i-- {
+		parent, childIdx := path[i].node, path[i].childIdx
+		child := parent.entries[childIdx].child
+		if len(child.entries) < t.minFill() {
+			// Dissolve: collect the child's entries for reinsertion.
+			orphans = append(orphans, child.entries...)
+			parent.entries = append(parent.entries[:childIdx], parent.entries[childIdx+1:]...)
+		} else {
+			parent.entries[childIdx].mbb = child.mbb()
+		}
+	}
+
+	// Reinsert orphans at their original level. Leaf entries reinsert like
+	// points; interior orphans carry whole subtrees — for simplicity (and
+	// because fanout/2 subtrees are rare at realistic fanouts) we reinsert
+	// their leaf descendants' entries.
+	for _, o := range orphans {
+		t.reinsert(o)
+	}
+
+	// Shorten the root while it is a single-child interior node.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+		t.height--
+	}
+	if !t.root.leaf && len(t.root.entries) == 0 {
+		t.root = &node{leaf: true}
+		t.height = 1
+	}
+	return true, nil
+}
+
+// pathStep records the descent taken by findLeaf.
+type pathStep struct {
+	node     *node
+	childIdx int
+}
+
+// findLeaf locates the leaf node and entry index holding point p (and,
+// when wantIdx >= 0, the specific start index), along with the
+// root-to-parent path.
+func (t *Tree) findLeaf(n *node, p geom.Point, wantIdx int32, path []pathStep) (*node, int, []pathStep) {
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.count != 1 || t.pts[e.start] != p {
+				continue
+			}
+			if wantIdx >= 0 && e.start != wantIdx {
+				continue
+			}
+			return n, i, path
+		}
+		return nil, 0, path
+	}
+	q := geom.MBBOf(p)
+	for i, e := range n.entries {
+		if !e.mbb.Intersects(q) {
+			continue
+		}
+		leaf, idx, found := t.findLeaf(e.child, p, wantIdx, append(path, pathStep{n, i}))
+		if leaf != nil {
+			return leaf, idx, found
+		}
+	}
+	return nil, 0, path
+}
+
+// reinsert places an orphaned entry back into the tree. Leaf entries are
+// inserted directly; interior entries are flattened to their leaf entries.
+func (t *Tree) reinsert(e entry) {
+	if e.child == nil {
+		split := t.insert(t.root, e)
+		if split != nil {
+			t.root = &node{
+				leaf: false,
+				entries: []entry{
+					{mbb: t.root.mbb(), child: t.root},
+					{mbb: split.mbb(), child: split},
+				},
+			}
+			t.height++
+		}
+		return
+	}
+	var walk func(n *node)
+	walk = func(n *node) {
+		for _, c := range n.entries {
+			if n.leaf {
+				t.reinsert(c)
+			} else {
+				walk(c.child)
+			}
+		}
+	}
+	if e.child.leaf {
+		for _, c := range e.child.entries {
+			t.reinsert(c)
+		}
+	} else {
+		walk(e.child)
+	}
+}

@@ -1,0 +1,180 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"vdbscan/internal/geom"
+	"vdbscan/internal/grid"
+)
+
+func TestDeleteBasic(t *testing.T) {
+	tr := New(Options{Fanout: 4})
+	pts := randomPoints(100, 20, 50)
+	for _, p := range pts {
+		tr.Insert(p)
+	}
+	found, err := tr.Delete(pts[10])
+	if err != nil || !found {
+		t.Fatalf("Delete: found=%v err=%v", found, err)
+	}
+	if tr.Len() != 99 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		// CheckInvariants counts covered points vs size; after delete the
+		// leaf coverage is size, still consistent.
+		t.Fatal(err)
+	}
+	// The deleted point is no longer returned.
+	got := tr.SearchCandidates(geom.QueryMBB(pts[10], 1e-9), nil)
+	for _, idx := range got {
+		if tr.Points()[idx] == pts[10] && idx == 10 {
+			t.Error("deleted point still indexed")
+		}
+	}
+}
+
+func TestDeleteMissingPoint(t *testing.T) {
+	tr := New(Options{})
+	tr.Insert(geom.Point{X: 1, Y: 1})
+	found, err := tr.Delete(geom.Point{X: 5, Y: 5})
+	if err != nil || found {
+		t.Errorf("missing delete: found=%v err=%v", found, err)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len changed to %d", tr.Len())
+	}
+}
+
+func TestDeletePackedTreeRejected(t *testing.T) {
+	pts, _ := grid.Sort(randomPoints(100, 20, 51), 1)
+	tr := BulkLoad(pts, Options{R: 10})
+	if _, err := tr.Delete(pts[0]); err != ErrPackedTree {
+		t.Errorf("packed delete err = %v, want ErrPackedTree", err)
+	}
+}
+
+func TestDeleteAllPoints(t *testing.T) {
+	tr := New(Options{Fanout: 3})
+	pts := randomPoints(60, 15, 52)
+	for _, p := range pts {
+		tr.Insert(p)
+	}
+	for i, p := range pts {
+		found, err := tr.Delete(p)
+		if err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+		if !found {
+			t.Fatalf("point %d not found", i)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after delete %d: %v", i, err)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d after deleting all", tr.Len())
+	}
+	// Tree is usable again.
+	tr.Insert(geom.Point{X: 1, Y: 2})
+	if got := tr.SearchCandidates(geom.QueryMBB(geom.Point{X: 1, Y: 2}, 0.1), nil); len(got) != 1 {
+		t.Errorf("insert after drain: %v", got)
+	}
+}
+
+func TestDeleteDuplicatesOneAtATime(t *testing.T) {
+	tr := New(Options{Fanout: 4})
+	for i := 0; i < 10; i++ {
+		tr.Insert(geom.Point{X: 3, Y: 3})
+	}
+	for i := 9; i >= 0; i-- {
+		found, err := tr.Delete(geom.Point{X: 3, Y: 3})
+		if err != nil || !found {
+			t.Fatalf("dup delete %d: found=%v err=%v", i, found, err)
+		}
+		got := tr.SearchCandidates(geom.QueryMBB(geom.Point{X: 3, Y: 3}, 0.1), nil)
+		if len(got) != i {
+			t.Fatalf("after %d deletes: %d remain", 10-i, len(got))
+		}
+	}
+}
+
+func TestDeleteRandomizedSearchStaysExact(t *testing.T) {
+	rnd := rand.New(rand.NewSource(53))
+	tr := New(Options{Fanout: 5})
+	pts := randomPoints(400, 30, 54)
+	alive := make(map[int]bool, len(pts))
+	for i, p := range pts {
+		tr.Insert(p)
+		alive[i] = true
+	}
+	// Interleave deletions with search validation.
+	order := rnd.Perm(len(pts))
+	for step, idx := range order[:300] {
+		found, err := tr.Delete(pts[idx])
+		if err != nil || !found {
+			t.Fatalf("step %d: found=%v err=%v", step, found, err)
+		}
+		alive[idx] = false
+		if step%50 != 0 {
+			continue
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		q := geom.QueryMBB(geom.Point{X: rnd.Float64() * 30, Y: rnd.Float64() * 30}, 2)
+		got := map[geom.Point]int{}
+		for _, ci := range tr.SearchCandidates(q, nil) {
+			got[tr.Points()[ci]]++
+		}
+		want := map[geom.Point]int{}
+		for i, p := range pts {
+			if alive[i] && q.ContainsPoint(p) {
+				want[p]++
+			}
+		}
+		for p, c := range want {
+			if got[p] != c {
+				t.Fatalf("step %d: point %v count %d, want %d", step, p, got[p], c)
+			}
+		}
+		for p, c := range got {
+			if want[p] != c {
+				t.Fatalf("step %d: stale point %v in results", step, p)
+			}
+		}
+	}
+}
+
+func TestDeleteIndexWithDuplicates(t *testing.T) {
+	// Ten identical points: DeleteIndex must remove exactly the requested
+	// entry, never a twin's.
+	tr := New(Options{Fanout: 4})
+	p := geom.Point{X: 7, Y: 7}
+	for i := 0; i < 10; i++ {
+		tr.Insert(p)
+	}
+	// Delete index 3 specifically; indices 0-2 and 4-9 must remain.
+	found, err := tr.DeleteIndex(p, 3)
+	if err != nil || !found {
+		t.Fatalf("DeleteIndex: %v %v", found, err)
+	}
+	remaining := map[int32]bool{}
+	for _, ci := range tr.SearchCandidates(geom.QueryMBB(p, 0.1), nil) {
+		remaining[ci] = true
+	}
+	if len(remaining) != 9 || remaining[3] {
+		t.Fatalf("remaining = %v", remaining)
+	}
+	// Deleting the same index again fails cleanly.
+	found, err = tr.DeleteIndex(p, 3)
+	if err != nil || found {
+		t.Fatalf("second DeleteIndex: %v %v", found, err)
+	}
+	// Index with wrong point value is not found.
+	found, err = tr.DeleteIndex(geom.Point{X: 0, Y: 0}, 4)
+	if err != nil || found {
+		t.Fatalf("mismatched value: %v %v", found, err)
+	}
+}

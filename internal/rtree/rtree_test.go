@@ -1,0 +1,278 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"vdbscan/internal/geom"
+	"vdbscan/internal/grid"
+)
+
+func randomPoints(n int, extent float64, seed int64) []geom.Point {
+	rnd := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rnd.Float64() * extent, Y: rnd.Float64() * extent}
+	}
+	return pts
+}
+
+// linearCandidates returns the indices of points whose coordinates fall in q,
+// i.e. the exact answer the R-tree's candidate search must be a superset of
+// (and equal to when r=1).
+func linearCandidates(pts []geom.Point, q geom.MBB) []int32 {
+	var out []int32
+	for i, p := range pts {
+		if q.ContainsPoint(p) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func sortedCopy(xs []int32) []int32 {
+	c := append([]int32(nil), xs...)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	return c
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr := BulkLoad(nil, Options{})
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := tr.SearchCandidates(geom.MBB{MinX: -1, MinY: -1, MaxX: 1, MaxY: 1}, nil)
+	if len(got) != 0 {
+		t.Fatalf("search on empty tree returned %v", got)
+	}
+}
+
+func TestBulkLoadSinglePoint(t *testing.T) {
+	pts := []geom.Point{{X: 5, Y: 5}}
+	tr := BulkLoad(pts, Options{R: 4})
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := tr.SearchCandidates(geom.QueryMBB(geom.Point{X: 5, Y: 5}, 0.1), nil)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("got %v", got)
+	}
+	if got := tr.SearchCandidates(geom.QueryMBB(geom.Point{X: 50, Y: 50}, 0.1), nil); len(got) != 0 {
+		t.Fatalf("distant query returned %v", got)
+	}
+}
+
+func TestBulkLoadInvariantsAcrossR(t *testing.T) {
+	for _, r := range []int{1, 2, 7, 16, 64, 100, 1000} {
+		pts, _ := grid.Sort(randomPoints(1234, 50, 1), 1)
+		tr := BulkLoad(pts, Options{R: r})
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("r=%d: %v", r, err)
+		}
+		if tr.Len() != 1234 {
+			t.Fatalf("r=%d: Len = %d", r, tr.Len())
+		}
+	}
+}
+
+func TestSearchMatchesLinearScanR1(t *testing.T) {
+	// With r=1 every leaf MBB is a point, so candidates == exact containment.
+	pts, _ := grid.Sort(randomPoints(800, 40, 2), 1)
+	tr := BulkLoad(pts, Options{R: 1})
+	rnd := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		c := geom.Point{X: rnd.Float64() * 40, Y: rnd.Float64() * 40}
+		q := geom.QueryMBB(c, rnd.Float64()*5)
+		got := sortedCopy(tr.SearchCandidates(q, nil))
+		want := sortedCopy(linearCandidates(pts, q))
+		if len(got) != len(want) {
+			t.Fatalf("query %v: got %d candidates, want %d", q, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("query %v: candidate mismatch at %d", q, j)
+			}
+		}
+	}
+}
+
+func TestSearchSupersetForLargerR(t *testing.T) {
+	// For r>1 the candidate set must contain every point actually inside q.
+	pts, _ := grid.Sort(randomPoints(2000, 60, 4), 1)
+	for _, r := range []int{4, 32, 128} {
+		tr := BulkLoad(pts, Options{R: r})
+		rnd := rand.New(rand.NewSource(int64(r)))
+		for i := 0; i < 50; i++ {
+			c := geom.Point{X: rnd.Float64() * 60, Y: rnd.Float64() * 60}
+			q := geom.QueryMBB(c, 1+rnd.Float64()*3)
+			got := tr.SearchCandidates(q, nil)
+			inGot := make(map[int32]bool, len(got))
+			for _, idx := range got {
+				inGot[idx] = true
+			}
+			for _, idx := range linearCandidates(pts, q) {
+				if !inGot[idx] {
+					t.Fatalf("r=%d: point %d inside %v missing from candidates", r, idx, q)
+				}
+			}
+		}
+	}
+}
+
+func TestHigherRShrinksTree(t *testing.T) {
+	pts, _ := grid.Sort(randomPoints(10000, 100, 5), 1)
+	s1 := BulkLoad(pts, Options{R: 1}).Stats()
+	s100 := BulkLoad(pts, Options{R: 100}).Stats()
+	if s100.Nodes >= s1.Nodes {
+		t.Errorf("r=100 nodes %d should be < r=1 nodes %d", s100.Nodes, s1.Nodes)
+	}
+	if s100.Height > s1.Height {
+		t.Errorf("r=100 height %d should be <= r=1 height %d", s100.Height, s1.Height)
+	}
+	if s1.LeafEntries != 10000 {
+		t.Errorf("r=1 should have one leaf entry per point, got %d", s1.LeafEntries)
+	}
+	if want := 100; s100.LeafEntries != want {
+		t.Errorf("r=100 leaf entries = %d, want %d", s100.LeafEntries, want)
+	}
+}
+
+func TestHigherRVisitsFewerNodes(t *testing.T) {
+	pts, _ := grid.Sort(randomPoints(20000, 100, 6), 1)
+	t1 := BulkLoad(pts, Options{R: 1})
+	t100 := BulkLoad(pts, Options{R: 100})
+	q := geom.QueryMBB(geom.Point{X: 50, Y: 50}, 2)
+	v1 := t1.Search(q, func(LeafRange) {})
+	v100 := t100.Search(q, func(LeafRange) {})
+	if v100 >= v1 {
+		t.Errorf("r=100 visited %d nodes, r=1 visited %d; expected fewer", v100, v1)
+	}
+}
+
+func TestDynamicInsert(t *testing.T) {
+	tr := New(Options{Fanout: 4})
+	pts := randomPoints(500, 30, 7)
+	for _, p := range pts {
+		tr.Insert(p)
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Dynamic tree with r=1: candidates == exact containment.
+	rnd := rand.New(rand.NewSource(8))
+	for i := 0; i < 50; i++ {
+		q := geom.QueryMBB(geom.Point{X: rnd.Float64() * 30, Y: rnd.Float64() * 30}, rnd.Float64()*4)
+		got := sortedCopy(tr.SearchCandidates(q, nil))
+		want := sortedCopy(linearCandidates(tr.Points(), q))
+		if len(got) != len(want) {
+			t.Fatalf("query %v: got %d, want %d", q, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("query %v: mismatch at %d", q, j)
+			}
+		}
+	}
+}
+
+func TestDynamicInsertDuplicates(t *testing.T) {
+	tr := New(Options{Fanout: 3})
+	for i := 0; i < 20; i++ {
+		tr.Insert(geom.Point{X: 1, Y: 1})
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := tr.SearchCandidates(geom.QueryMBB(geom.Point{X: 1, Y: 1}, 0.5), nil)
+	if len(got) != 20 {
+		t.Fatalf("expected all 20 duplicates, got %d", len(got))
+	}
+}
+
+func TestInsertGrowsHeight(t *testing.T) {
+	tr := New(Options{Fanout: 2})
+	for i := 0; i < 64; i++ {
+		tr.Insert(geom.Point{X: float64(i), Y: float64(i % 8)})
+	}
+	if tr.Height() < 3 {
+		t.Errorf("fanout-2 tree with 64 points should be at least height 3, got %d", tr.Height())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkVsDynamicSameAnswers(t *testing.T) {
+	raw := randomPoints(600, 25, 9)
+	sorted, _ := grid.Sort(raw, 1)
+	bulk := BulkLoad(sorted, Options{R: 8})
+	dyn := New(Options{})
+	for _, p := range raw {
+		dyn.Insert(p)
+	}
+	rnd := rand.New(rand.NewSource(10))
+	for i := 0; i < 40; i++ {
+		c := geom.Point{X: rnd.Float64() * 25, Y: rnd.Float64() * 25}
+		q := geom.QueryMBB(c, 0.5+rnd.Float64()*2)
+		// Compare as point-value multisets since index spaces differ.
+		collect := func(tr *Tree) []geom.Point {
+			idxs := tr.SearchCandidates(q, nil)
+			var out []geom.Point
+			for _, idx := range idxs {
+				p := tr.Points()[idx]
+				if q.ContainsPoint(p) { // filter candidates to exact
+					out = append(out, p)
+				}
+			}
+			sort.Slice(out, func(a, b int) bool {
+				if out[a].X != out[b].X {
+					return out[a].X < out[b].X
+				}
+				return out[a].Y < out[b].Y
+			})
+			return out
+		}
+		a, b := collect(bulk), collect(dyn)
+		if len(a) != len(b) {
+			t.Fatalf("query %v: bulk %d vs dynamic %d exact matches", q, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("query %v: point mismatch at %d: %v vs %v", q, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestSearchCandidatesAppendsToDst(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}
+	tr := BulkLoad(pts, Options{})
+	dst := make([]int32, 0, 8)
+	dst = append(dst, 99)
+	got := tr.SearchCandidates(geom.MBB{MinX: -1, MinY: -1, MaxX: 2, MaxY: 2}, dst)
+	if len(got) != 3 || got[0] != 99 {
+		t.Fatalf("expected append semantics, got %v", got)
+	}
+}
+
+func TestStatsAndString(t *testing.T) {
+	pts, _ := grid.Sort(randomPoints(1000, 50, 11), 1)
+	tr := BulkLoad(pts, Options{R: 10, Fanout: 8})
+	s := tr.Stats()
+	if s.Points != 1000 || s.R != 10 || s.Fanout != 8 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.LeafEntries != 100 {
+		t.Errorf("leaf entries = %d, want 100", s.LeafEntries)
+	}
+	if tr.String() == "" {
+		t.Error("String() empty")
+	}
+}

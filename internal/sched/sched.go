@@ -1,0 +1,424 @@
+// Package sched executes a set of DBSCAN variants on a pool of worker
+// goroutines, implementing the paper's two online scheduling heuristics
+// (§IV-D):
+//
+//	SCHEDGREEDY — workers take variants in canonical order (ε ascending,
+//	  minpts descending) and reuse the *completed* variant with the smallest
+//	  normalized parameter difference; if none qualifies, the variant is
+//	  clustered from scratch.
+//	SCHEDMINPTS — the variants with the maximum minpts for each unique ε are
+//	  queued first (clustered from scratch), maximizing the diversity of
+//	  completed ε values so later variants more likely find a close source;
+//	  the remainder then follows the SCHEDGREEDY criterion.
+//
+// The scheduling problem is online: which sources exist when a variant
+// starts depends on the order and speed of earlier completions. The paper's
+// thread pool maps to T goroutines pulling from a shared queue. Per-variant
+// start/end offsets are recorded to reproduce the Figure 9 makespan plots.
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"vdbscan/internal/cluster"
+	"vdbscan/internal/core"
+	"vdbscan/internal/dbscan"
+	"vdbscan/internal/metrics"
+	"vdbscan/internal/reuse"
+	"vdbscan/internal/variant"
+)
+
+// Strategy selects the scheduling heuristic.
+type Strategy int
+
+const (
+	// SchedGreedy assigns variants in canonical order, reusing the closest
+	// completed variant.
+	SchedGreedy Strategy = iota
+	// SchedMinPts first clusters, from scratch, the max-minpts variant of
+	// each unique ε, then proceeds greedily.
+	SchedMinPts
+	// SchedTree executes the Figure 3a dependency tree depth-first: each
+	// variant prefers to reuse its tree parent (the reusable variant with
+	// minimal parameter difference under global knowledge), falling back to
+	// the greedy choice when the parent has not completed yet. This static
+	// schedule is an extension beyond the paper's two online heuristics.
+	SchedTree
+)
+
+// Strategies lists both heuristics for sweeps.
+var Strategies = []Strategy{SchedGreedy, SchedMinPts}
+
+// AllStrategies includes the SchedTree extension.
+var AllStrategies = []Strategy{SchedGreedy, SchedMinPts, SchedTree}
+
+// String implements fmt.Stringer with the paper's names.
+func (s Strategy) String() string {
+	switch s {
+	case SchedGreedy:
+		return "SCHEDGREEDY"
+	case SchedMinPts:
+		return "SCHEDMINPTS"
+	case SchedTree:
+		return "SCHEDTREE"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Parse converts a strategy name ("SCHEDGREEDY"/"greedy",
+// "SCHEDMINPTS"/"minpts").
+func Parse(name string) (Strategy, error) {
+	switch name {
+	case "SCHEDGREEDY", "greedy":
+		return SchedGreedy, nil
+	case "SCHEDMINPTS", "minpts":
+		return SchedMinPts, nil
+	case "SCHEDTREE", "tree":
+		return SchedTree, nil
+	}
+	return 0, fmt.Errorf("sched: unknown strategy %q", name)
+}
+
+// Options configures Execute.
+type Options struct {
+	// Threads is the worker pool size T; 1 when zero or negative.
+	Threads int
+	// Strategy is the scheduling heuristic; SchedGreedy by default.
+	Strategy Strategy
+	// Scheme is the cluster-reuse prioritization; reuse.ClusDensity is the
+	// paper's recommended default and ours.
+	Scheme reuse.Scheme
+	// MinSeedSize excludes clusters below this size from reuse
+	// (core.Options.MinSeedSize); 0 reuses all.
+	MinSeedSize int
+	// DisableReuse forces every variant to cluster from scratch (the
+	// multithreaded no-reuse baseline of scenario S1).
+	DisableReuse bool
+	// Metrics optionally accumulates work counters across all variants.
+	Metrics *metrics.Counters
+}
+
+// VariantResult is the outcome of one variant execution.
+type VariantResult struct {
+	Variant variant.Variant
+	// Result holds labels in the index's sorted point space.
+	Result *cluster.Result
+	// Stats reports the reuse achieved.
+	Stats core.Stats
+	// SourceID is the original ID of the reused variant, or -1 for a
+	// from-scratch execution.
+	SourceID int
+	// Worker is the pool worker (0..T-1) that ran the variant.
+	Worker int
+	// Start and End are offsets from the start of Execute.
+	Start, End time.Duration
+}
+
+// Duration returns the variant's response time.
+func (vr VariantResult) Duration() time.Duration { return vr.End - vr.Start }
+
+// RunResult is the outcome of executing a whole variant set.
+type RunResult struct {
+	// Results is indexed by the variants' original IDs.
+	Results []VariantResult
+	// Makespan is the wall-clock time from first start to last finish.
+	Makespan time.Duration
+	// TotalWork is the sum of per-variant durations; TotalWork/T is the
+	// Figure 9 lower bound ("no cores idle").
+	TotalWork time.Duration
+	// Threads echoes the pool size used.
+	Threads int
+}
+
+// LowerBound returns the idealized makespan if all T workers finished
+// simultaneously (Figure 9's black line).
+func (rr *RunResult) LowerBound() time.Duration {
+	if rr.Threads <= 0 {
+		return rr.TotalWork
+	}
+	return rr.TotalWork / time.Duration(rr.Threads)
+}
+
+// SlowdownOverLowerBound returns Makespan/LowerBound − 1 (the paper reports
+// 13.5% for SCHEDGREEDY and 33.0% for SCHEDMINPTS in its Figure 9 scenario).
+func (rr *RunResult) SlowdownOverLowerBound() float64 {
+	lb := rr.LowerBound()
+	if lb <= 0 {
+		return 0
+	}
+	return float64(rr.Makespan)/float64(lb) - 1
+}
+
+// FractionFromScratch returns the fraction of variants clustered without
+// reuse. Its floor is (|V|−f·|V|)/|V| with f = (|V|−T)/|V| (paper §IV-D).
+func (rr *RunResult) FractionFromScratch() float64 {
+	if len(rr.Results) == 0 {
+		return 0
+	}
+	n := 0
+	for _, r := range rr.Results {
+		if r.Stats.FromScratch {
+			n++
+		}
+	}
+	return float64(n) / float64(len(rr.Results))
+}
+
+// MeanFractionReused averages the per-variant fraction of points reused
+// (Figure 7b's quantity).
+func (rr *RunResult) MeanFractionReused() float64 {
+	if len(rr.Results) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range rr.Results {
+		sum += r.Stats.FractionReused
+	}
+	return sum / float64(len(rr.Results))
+}
+
+// completedEntry is a published, immutable variant result workers may reuse.
+type completedEntry struct {
+	params dbscan.Params
+	id     int
+	result *cluster.Result
+}
+
+// registry tracks completed variants under a mutex. Results are made
+// read-safe (cluster grouping precomputed) before publication.
+type registry struct {
+	mu        sync.Mutex
+	completed []completedEntry
+}
+
+func (g *registry) publish(e completedEntry) {
+	// Precompute the lazy cluster grouping so concurrent readers never
+	// race on the cache inside cluster.Result.
+	e.result.Clusters()
+	g.mu.Lock()
+	g.completed = append(g.completed, e)
+	g.mu.Unlock()
+}
+
+// byID returns the completed entry for a specific variant ID, or nil.
+func (g *registry) byID(id int) *completedEntry {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := range g.completed {
+		if g.completed[i].id == id {
+			e := g.completed[i]
+			return &e
+		}
+	}
+	return nil
+}
+
+// choose returns the closest reusable completed entry for p, or nil.
+func (g *registry) choose(p dbscan.Params, norm variant.Normalizer) *completedEntry {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	params := make([]dbscan.Params, len(g.completed))
+	for i, e := range g.completed {
+		params[i] = e.params
+	}
+	idx := core.ChooseSource(p, params, norm)
+	if idx < 0 {
+		return nil
+	}
+	e := g.completed[idx]
+	return &e
+}
+
+// order builds the execution queue for the chosen strategy over a canonical
+// sort of vs. It returns the variants in assignment order.
+func order(vs []variant.Variant, strategy Strategy) []variant.Variant {
+	sorted := variant.Sorted(vs)
+	if strategy == SchedGreedy {
+		return sorted
+	}
+	if strategy == SchedTree {
+		tree := variant.BuildDepTree(vs)
+		out := make([]variant.Variant, 0, len(tree.Variants))
+		for _, i := range tree.DepthFirstOrder() {
+			out = append(out, tree.Variants[i])
+		}
+		return out
+	}
+	// SCHEDMINPTS: for each unique ε, pull the variant with the maximum
+	// minpts to the front (in ascending ε order); keep the rest canonical.
+	type key struct{ eps float64 }
+	bestForEps := map[key]int{} // index into sorted
+	for i, v := range sorted {
+		k := key{v.Params.Eps}
+		if j, ok := bestForEps[k]; !ok || v.Params.MinPts > sorted[j].Params.MinPts {
+			bestForEps[k] = i
+		}
+	}
+	prioritized := make([]bool, len(sorted))
+	var heads []int
+	for _, i := range bestForEps {
+		prioritized[i] = true
+		heads = append(heads, i)
+	}
+	sort.Ints(heads)
+	out := make([]variant.Variant, 0, len(sorted))
+	for _, i := range heads {
+		out = append(out, sorted[i])
+	}
+	for i, v := range sorted {
+		if !prioritized[i] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Execute runs every variant in vs over the shared index and returns the
+// per-variant results (indexed by original variant ID).
+func Execute(ix *dbscan.Index, vs []variant.Variant, opt Options) (*RunResult, error) {
+	return ExecuteContext(context.Background(), ix, vs, opt)
+}
+
+// ExecuteContext is Execute with cancellation: when ctx is canceled, no new
+// variant executions start and the context error is returned once in-flight
+// variants finish. A single variant execution is not interruptible (its
+// work is bounded by one from-scratch DBSCAN run).
+func ExecuteContext(ctx context.Context, ix *dbscan.Index, vs []variant.Variant, opt Options) (*RunResult, error) {
+	if err := variant.Validate(vs); err != nil {
+		return nil, err
+	}
+	threads := opt.Threads
+	if threads <= 0 {
+		threads = 1
+	}
+	queue := order(vs, opt.Strategy)
+	norm := variant.NewNormalizer(vs)
+	reg := &registry{}
+
+	// treeParent maps a variant's original ID to its preferred source's
+	// original ID under SCHEDTREE (-1 = cluster from scratch).
+	treeParent := map[int]int{}
+	if opt.Strategy == SchedTree {
+		tree := variant.BuildDepTree(vs)
+		for i, p := range tree.Parent {
+			if p < 0 {
+				treeParent[tree.Variants[i].ID] = -1
+			} else {
+				treeParent[tree.Variants[i].ID] = tree.Variants[p].ID
+			}
+		}
+	}
+
+	// scratchOnly marks the SCHEDMINPTS priority head: those variants are
+	// clustered from scratch by construction.
+	scratchOnly := map[int]bool{}
+	if opt.Strategy == SchedMinPts {
+		seen := map[float64]bool{}
+		for _, v := range queue {
+			if !seen[v.Params.Eps] {
+				seen[v.Params.Eps] = true
+				scratchOnly[v.ID] = true
+			} else {
+				break // priority head is a prefix of the queue
+			}
+		}
+	}
+
+	results := make([]VariantResult, len(vs))
+	var next int
+	var nextMu sync.Mutex
+	take := func() (variant.Variant, bool) {
+		if ctx.Err() != nil {
+			return variant.Variant{}, false
+		}
+		nextMu.Lock()
+		defer nextMu.Unlock()
+		if next >= len(queue) {
+			return variant.Variant{}, false
+		}
+		v := queue[next]
+		next++
+		return v, true
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, threads)
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				v, ok := take()
+				if !ok {
+					return
+				}
+				vr := VariantResult{Variant: v, Worker: worker, SourceID: -1}
+				vr.Start = time.Since(start)
+
+				var prev *cluster.Result
+				if !opt.DisableReuse && !scratchOnly[v.ID] {
+					var e *completedEntry
+					if opt.Strategy == SchedTree {
+						if pid, ok := treeParent[v.ID]; ok && pid >= 0 {
+							e = reg.byID(pid)
+						}
+					}
+					if e == nil {
+						e = reg.choose(v.Params, norm)
+					}
+					if e != nil {
+						prev = e.result
+						vr.SourceID = e.id
+					}
+				}
+				res, stats, err := core.RunOpts(ix, v.Params, prev,
+					core.Options{Scheme: opt.Scheme, MinSeedSize: opt.MinSeedSize}, opt.Metrics)
+				if err != nil {
+					errs[worker] = fmt.Errorf("variant %v: %w", v, err)
+					return
+				}
+				if stats.FromScratch {
+					vr.SourceID = -1
+				}
+				vr.Result, vr.Stats = res, stats
+				vr.End = time.Since(start)
+				reg.publish(completedEntry{params: v.Params, id: v.ID, result: res})
+				results[v.ID] = vr
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sched: canceled after %d of %d variants: %w", next, len(vs), err)
+	}
+
+	rr := &RunResult{Results: results, Threads: threads, Makespan: time.Since(start)}
+	for _, r := range results {
+		rr.TotalWork += r.Duration()
+	}
+	return rr, nil
+}
+
+// WorkerTimelines groups results by worker in start order — the raw
+// material of the Figure 9 makespan bars.
+func (rr *RunResult) WorkerTimelines() [][]VariantResult {
+	lines := make([][]VariantResult, rr.Threads)
+	for _, r := range rr.Results {
+		lines[r.Worker] = append(lines[r.Worker], r)
+	}
+	for _, line := range lines {
+		sort.Slice(line, func(a, b int) bool { return line[a].Start < line[b].Start })
+	}
+	return lines
+}

@@ -1,0 +1,416 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"vdbscan/internal/cluster"
+	"vdbscan/internal/dbscan"
+	"vdbscan/internal/geom"
+	"vdbscan/internal/metrics"
+	"vdbscan/internal/reuse"
+	"vdbscan/internal/variant"
+)
+
+func blobs(k, m, noise int, extent, sigma float64, seed int64) []geom.Point {
+	rnd := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, 0, k*m+noise)
+	for c := 0; c < k; c++ {
+		cx, cy := rnd.Float64()*extent, rnd.Float64()*extent
+		for i := 0; i < m; i++ {
+			pts = append(pts, geom.Point{
+				X: cx + rnd.NormFloat64()*sigma,
+				Y: cy + rnd.NormFloat64()*sigma,
+			})
+		}
+	}
+	for i := 0; i < noise; i++ {
+		pts = append(pts, geom.Point{X: rnd.Float64() * extent, Y: rnd.Float64() * extent})
+	}
+	return pts
+}
+
+func testIndex(t *testing.T) *dbscan.Index {
+	t.Helper()
+	return dbscan.BuildIndex(blobs(3, 200, 100, 25, 0.6, 1), dbscan.IndexOptions{R: 16})
+}
+
+func TestStrategyStrings(t *testing.T) {
+	if SchedGreedy.String() != "SCHEDGREEDY" || SchedMinPts.String() != "SCHEDMINPTS" {
+		t.Error("strategy names wrong")
+	}
+	if Strategy(9).String() == "" {
+		t.Error("unknown strategy should stringify")
+	}
+	for _, c := range []struct {
+		in   string
+		want Strategy
+	}{{"SCHEDGREEDY", SchedGreedy}, {"greedy", SchedGreedy}, {"SCHEDMINPTS", SchedMinPts}, {"minpts", SchedMinPts}} {
+		got, err := Parse(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("Parse(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := Parse("nope"); err == nil {
+		t.Error("Parse should reject unknown")
+	}
+}
+
+func TestOrderGreedyIsCanonical(t *testing.T) {
+	vs := variant.Product([]float64{0.4, 0.2}, []int{4, 8})
+	q := order(vs, SchedGreedy)
+	want := []dbscan.Params{{Eps: 0.2, MinPts: 8}, {Eps: 0.2, MinPts: 4}, {Eps: 0.4, MinPts: 8}, {Eps: 0.4, MinPts: 4}}
+	for i := range want {
+		if q[i].Params != want[i] {
+			t.Fatalf("greedy order[%d] = %v, want %v", i, q[i].Params, want[i])
+		}
+	}
+}
+
+func TestOrderMinPtsPrioritizesMaxMinptsPerEps(t *testing.T) {
+	// Paper Figure 3c: (0.2,32),(0.4,32),(0.6,32) first.
+	vs := variant.Product([]float64{0.2, 0.4, 0.6}, []int{32, 28, 24, 20})
+	q := order(vs, SchedMinPts)
+	wantHead := []dbscan.Params{{Eps: 0.2, MinPts: 32}, {Eps: 0.4, MinPts: 32}, {Eps: 0.6, MinPts: 32}}
+	for i := range wantHead {
+		if q[i].Params != wantHead[i] {
+			t.Fatalf("minpts head[%d] = %v, want %v", i, q[i].Params, wantHead[i])
+		}
+	}
+	if len(q) != len(vs) {
+		t.Fatalf("order dropped variants: %d of %d", len(q), len(vs))
+	}
+	// Figure 3c's full schedule: after the head, remaining canonical order.
+	wantRest := []dbscan.Params{
+		{Eps: 0.2, MinPts: 28}, {Eps: 0.2, MinPts: 24}, {Eps: 0.2, MinPts: 20},
+		{Eps: 0.4, MinPts: 28}, {Eps: 0.4, MinPts: 24}, {Eps: 0.4, MinPts: 20},
+		{Eps: 0.6, MinPts: 28}, {Eps: 0.6, MinPts: 24}, {Eps: 0.6, MinPts: 20},
+	}
+	for i := range wantRest {
+		if q[3+i].Params != wantRest[i] {
+			t.Fatalf("minpts rest[%d] = %v, want %v", i, q[3+i].Params, wantRest[i])
+		}
+	}
+}
+
+func TestExecuteValidates(t *testing.T) {
+	ix := testIndex(t)
+	if _, err := Execute(ix, nil, Options{}); err == nil {
+		t.Error("empty variant set accepted")
+	}
+	bad := variant.New([]dbscan.Params{{Eps: -1, MinPts: 4}})
+	if _, err := Execute(ix, bad, Options{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestExecuteSingleVariant(t *testing.T) {
+	ix := testIndex(t)
+	vs := variant.New([]dbscan.Params{{Eps: 0.5, MinPts: 4}})
+	rr, err := Execute(ix, vs, Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Results) != 1 {
+		t.Fatalf("results = %d", len(rr.Results))
+	}
+	if !rr.Results[0].Stats.FromScratch {
+		t.Error("single variant must be from scratch")
+	}
+	if rr.Results[0].SourceID != -1 {
+		t.Error("single variant has no source")
+	}
+}
+
+func TestExecuteMatchesScratchPerVariant(t *testing.T) {
+	ix := testIndex(t)
+	vs := variant.Product([]float64{0.3, 0.5, 0.8}, []int{4, 8, 16})
+	for _, strategy := range AllStrategies {
+		for _, threads := range []int{1, 4} {
+			rr, err := Execute(ix, vs, Options{Threads: threads, Strategy: strategy, Scheme: reuse.ClusDensity})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range rr.Results {
+				want, _ := dbscan.Run(ix, r.Variant.Params, nil)
+				if d := cluster.DisagreementCount(r.Result, want); d > ix.Len()/200 {
+					t.Errorf("%v T=%d variant %v: disagreements = %d",
+						strategy, threads, r.Variant, d)
+				}
+			}
+		}
+	}
+}
+
+func TestExecuteResultsIndexedByOriginalID(t *testing.T) {
+	ix := testIndex(t)
+	vs := variant.Product([]float64{0.8, 0.3}, []int{4, 16}) // deliberately unsorted
+	rr, err := Execute(ix, vs, Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, r := range rr.Results {
+		if r.Variant.ID != id {
+			t.Errorf("results[%d] holds variant %d", id, r.Variant.ID)
+		}
+		if r.Variant.Params != vs[id].Params {
+			t.Errorf("results[%d] params %v != input %v", id, r.Variant.Params, vs[id].Params)
+		}
+	}
+}
+
+func TestExecuteReuseHappens(t *testing.T) {
+	ix := testIndex(t)
+	vs := variant.Product([]float64{0.4, 0.6, 0.8}, []int{4, 8, 16})
+	rr, err := Execute(ix, vs, Options{Threads: 1, Scheme: reuse.ClusDensity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With T=1 only the first variant must be from scratch; the canonical
+	// first is (0.4,16), which produces clusters on this dataset, and every
+	// later variant can reuse a completed one.
+	scratch := 0
+	for _, r := range rr.Results {
+		if r.Stats.FromScratch {
+			scratch++
+		}
+	}
+	if scratch != 1 {
+		t.Errorf("from-scratch count = %d, want 1 (T=1, chainable set)", scratch)
+	}
+	if rr.MeanFractionReused() <= 0 {
+		t.Error("mean fraction reused should be positive")
+	}
+}
+
+func TestExecuteSourceSatisfiesInclusionCriteria(t *testing.T) {
+	ix := testIndex(t)
+	vs := variant.Product([]float64{0.3, 0.5, 0.8}, []int{4, 8, 16})
+	for _, strategy := range AllStrategies {
+		rr, err := Execute(ix, vs, Options{Threads: 3, Strategy: strategy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rr.Results {
+			if r.SourceID < 0 {
+				continue
+			}
+			src := vs[r.SourceID].Params
+			if !variant.CanReuse(r.Variant.Params, src) {
+				t.Errorf("%v: variant %v reused %v violating inclusion criteria",
+					strategy, r.Variant.Params, src)
+			}
+		}
+	}
+}
+
+func TestExecuteDisableReuse(t *testing.T) {
+	ix := testIndex(t)
+	vs := variant.Product([]float64{0.3, 0.5}, []int{4, 8})
+	rr, err := Execute(ix, vs, Options{Threads: 2, DisableReuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rr.FractionFromScratch(); got != 1 {
+		t.Errorf("DisableReuse fraction from scratch = %g, want 1", got)
+	}
+}
+
+func TestExecuteMoreThreadsThanVariants(t *testing.T) {
+	ix := testIndex(t)
+	vs := variant.Product([]float64{0.5}, []int{4, 8})
+	rr, err := Execute(ix, vs, Options{Threads: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Results) != 2 {
+		t.Fatalf("results = %d", len(rr.Results))
+	}
+	for _, r := range rr.Results {
+		if r.Result == nil {
+			t.Fatal("missing result")
+		}
+	}
+}
+
+func TestExecuteIdenticalVariants(t *testing.T) {
+	// Scenario S1 uses 16 identical variants.
+	ix := testIndex(t)
+	params := make([]dbscan.Params, 8)
+	for i := range params {
+		params[i] = dbscan.Params{Eps: 0.5, MinPts: 4}
+	}
+	rr, err := Execute(ix, variant.New(params), Options{Threads: 4, Scheme: reuse.ClusDensity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := dbscan.Run(ix, params[0], nil)
+	for _, r := range rr.Results {
+		if d := cluster.DisagreementCount(r.Result, want); d > ix.Len()/200 {
+			t.Errorf("identical variant %d: disagreements = %d", r.Variant.ID, d)
+		}
+	}
+}
+
+func TestTimelinesAndMakespan(t *testing.T) {
+	ix := testIndex(t)
+	vs := variant.Product([]float64{0.3, 0.5, 0.8}, []int{4, 8, 16})
+	rr, err := Execute(ix, vs, Options{Threads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Makespan <= 0 {
+		t.Error("makespan should be positive")
+	}
+	if rr.TotalWork <= 0 {
+		t.Error("total work should be positive")
+	}
+	if rr.LowerBound() > rr.Makespan {
+		t.Errorf("lower bound %v exceeds makespan %v", rr.LowerBound(), rr.Makespan)
+	}
+	if rr.SlowdownOverLowerBound() < 0 {
+		t.Errorf("slowdown = %g < 0", rr.SlowdownOverLowerBound())
+	}
+	lines := rr.WorkerTimelines()
+	if len(lines) != 3 {
+		t.Fatalf("timelines = %d", len(lines))
+	}
+	total := 0
+	for _, line := range lines {
+		total += len(line)
+		// Within one worker, executions must not overlap.
+		for i := 1; i < len(line); i++ {
+			if line[i].Start < line[i-1].End {
+				t.Errorf("worker timeline overlaps: %v then %v", line[i-1], line[i])
+			}
+		}
+	}
+	if total != len(vs) {
+		t.Errorf("timelines cover %d of %d variants", total, len(vs))
+	}
+}
+
+func TestExecuteMetricsAccumulate(t *testing.T) {
+	ix := testIndex(t)
+	vs := variant.Product([]float64{0.4, 0.6}, []int{4, 8})
+	var m metrics.Counters
+	if _, err := Execute(ix, vs, Options{Threads: 2, Metrics: &m}); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	if s.NeighborSearches == 0 {
+		t.Error("metrics saw no searches")
+	}
+	if s.PointsReused == 0 {
+		t.Error("metrics saw no reuse")
+	}
+}
+
+func TestMinPtsHeadClusteredFromScratch(t *testing.T) {
+	ix := testIndex(t)
+	vs := variant.Product([]float64{0.3, 0.5, 0.8}, []int{4, 8, 16})
+	rr, err := Execute(ix, vs, Options{Threads: 1, Strategy: SchedMinPts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The head variants (max minpts per eps) must be from scratch.
+	for _, r := range rr.Results {
+		if r.Variant.Params.MinPts == 16 && !r.Stats.FromScratch {
+			t.Errorf("head variant %v was not clustered from scratch", r.Variant.Params)
+		}
+	}
+	// With T=1, everything after the 3 head variants can reuse.
+	if got := rr.FractionFromScratch(); got != 3.0/9.0 {
+		t.Errorf("fraction from scratch = %g, want 1/3", got)
+	}
+}
+
+func TestFractionFromScratchLowerBoundFormula(t *testing.T) {
+	// Paper §IV-D: at least (1-f) = T/|V| of variants are from scratch...
+	// with T=1 and a fully chainable set exactly 1/|V|.
+	ix := testIndex(t)
+	vs := variant.Product([]float64{0.3, 0.5}, []int{4, 8, 16})
+	rr, err := Execute(ix, vs, Options{Threads: 1, Strategy: SchedGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := float64(len(vs)-1) / float64(len(vs))
+	if got := 1 - rr.FractionFromScratch(); got > f {
+		t.Errorf("reused fraction %g exceeds max %g", got, f)
+	}
+}
+
+func TestSchedTreeOrderAndSources(t *testing.T) {
+	ix := testIndex(t)
+	vs := variant.Product([]float64{0.4, 0.6, 0.8}, []int{4, 8, 16})
+	rr, err := Execute(ix, vs, Options{Threads: 1, Strategy: SchedTree, Scheme: reuse.ClusDensity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := variant.BuildDepTree(vs)
+	parentOf := map[int]int{}
+	for i, p := range tree.Parent {
+		if p < 0 {
+			parentOf[tree.Variants[i].ID] = -1
+		} else {
+			parentOf[tree.Variants[i].ID] = tree.Variants[p].ID
+		}
+	}
+	// With T=1 and DFS order, every variant with a tree parent reuses
+	// exactly that parent (the parent completed earlier by construction)
+	// unless the parent produced no clusters.
+	for _, r := range rr.Results {
+		want := parentOf[r.Variant.ID]
+		if want == -1 {
+			continue
+		}
+		src := rr.Results[want]
+		if src.Result.NumClusters == 0 {
+			continue // from-scratch fallback is correct here
+		}
+		if r.SourceID != want {
+			t.Errorf("variant %v reused %d, tree parent is %d", r.Variant, r.SourceID, want)
+		}
+	}
+	// Correctness unchanged.
+	for _, r := range rr.Results {
+		wantRes, _ := dbscan.Run(ix, r.Variant.Params, nil)
+		if d := cluster.DisagreementCount(r.Result, wantRes); d > ix.Len()/200 {
+			t.Errorf("SCHEDTREE variant %v: disagreements = %d", r.Variant, d)
+		}
+	}
+}
+
+func TestSchedTreeParseAndString(t *testing.T) {
+	if SchedTree.String() != "SCHEDTREE" {
+		t.Error("SchedTree name")
+	}
+	got, err := Parse("tree")
+	if err != nil || got != SchedTree {
+		t.Errorf("Parse(tree) = %v, %v", got, err)
+	}
+	if len(AllStrategies) != 3 {
+		t.Errorf("AllStrategies = %v", AllStrategies)
+	}
+}
+
+func TestExecuteContextCancellation(t *testing.T) {
+	ix := testIndex(t)
+	vs := variant.Product([]float64{0.3, 0.5, 0.8}, []int{4, 8, 16})
+	// Already-canceled context: nothing starts.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ExecuteContext(ctx, ix, vs, Options{Threads: 2})
+	if err == nil {
+		t.Fatal("canceled context accepted")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	// Background context: unchanged behavior.
+	if _, err := ExecuteContext(context.Background(), ix, vs, Options{Threads: 2}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package tidbscan implements TI-DBSCAN (Kryszkiewicz & Lasek, RSCTC
+// 2010) — the paper's reference [21]: DBSCAN without any spatial index,
+// using the triangle inequality to prune ε-neighborhood candidates.
+//
+// Points are sorted by their distance to a fixed reference point r. For a
+// query point p with d(p, r) = δ, every neighbor q must satisfy
+// |d(q, r) − δ| ≤ ε (triangle inequality), so the candidate set is a
+// contiguous window of the sorted order found by binary search. The window
+// is distance-filtered exactly.
+//
+// The pruning quality depends on how well distance-to-reference separates
+// points; for 2-D data it is typically much weaker than an R-tree or grid
+// (a ring of equal reference-distance spans the whole dataset), which is
+// why it serves here as a baseline rather than a production index — and as
+// another independent oracle.
+package tidbscan
+
+import (
+	"sort"
+
+	"vdbscan/internal/cluster"
+	"vdbscan/internal/dbscan"
+	"vdbscan/internal/geom"
+	"vdbscan/internal/metrics"
+)
+
+// Index is the reference-distance-sorted point order.
+type Index struct {
+	pts  []geom.Point // sorted by refDist
+	dist []float64    // dist[i] = d(pts[i], ref), ascending
+	fwd  []int        // sorted index -> original index
+	ref  geom.Point
+}
+
+// Build sorts pts by distance to a reference point (the bounding box's
+// minimum corner, per the TI-DBSCAN paper's recommendation).
+func Build(pts []geom.Point) *Index {
+	b := geom.MBBOfPoints(pts)
+	ref := geom.Point{X: b.MinX, Y: b.MinY}
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	dist := make([]float64, len(pts))
+	for i, p := range pts {
+		dist[i] = ref.Dist(p)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return dist[order[a]] < dist[order[b]] })
+
+	ix := &Index{
+		pts:  make([]geom.Point, len(pts)),
+		dist: make([]float64, len(pts)),
+		fwd:  order,
+		ref:  ref,
+	}
+	for si, oi := range order {
+		ix.pts[si] = pts[oi]
+		ix.dist[si] = dist[oi]
+	}
+	return ix
+}
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return len(ix.pts) }
+
+// Fwd maps sorted index -> original index.
+func (ix *Index) Fwd() []int { return ix.fwd }
+
+// NeighborSearch appends the sorted-space indices of points within eps of
+// sorted point i (including itself). Candidates come from the contiguous
+// reference-distance window [d_i − ε, d_i + ε].
+func (ix *Index) NeighborSearch(i int32, eps float64, m *metrics.Counters, dst []int32) []int32 {
+	d := ix.dist[i]
+	lo := sort.SearchFloat64s(ix.dist, d-eps)
+	hi := sort.SearchFloat64s(ix.dist, d+eps)
+	// hi is the first index with dist >= d+eps; points at exactly d+eps are
+	// still candidates (distance could equal eps), so extend over ties.
+	for hi < len(ix.dist) && ix.dist[hi] <= d+eps {
+		hi++
+	}
+	epsSq := eps * eps
+	q := ix.pts[i]
+	for j := lo; j < hi; j++ {
+		if q.DistSq(ix.pts[j]) <= epsSq {
+			dst = append(dst, int32(j))
+		}
+	}
+	m.AddNeighborSearches(1)
+	m.AddCandidatesExamined(int64(hi - lo))
+	m.AddNeighborsFound(int64(len(dst)))
+	return dst
+}
+
+// Run executes DBSCAN over the TI index; labels are in sorted space (use
+// Fwd with cluster.Result.Remap for the caller's order). m may be nil.
+func Run(ix *Index, p dbscan.Params, m *metrics.Counters) (*cluster.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := ix.Len()
+	res := cluster.NewResult(n)
+	visited := make([]bool, n)
+	var cid int32
+	queue := make([]int32, 0, 1024)
+	var scratch []int32
+	absorb := func(neighbors []int32, cid int32) {
+		for _, k := range neighbors {
+			if !visited[k] {
+				visited[k] = true
+				queue = append(queue, k)
+			}
+			if res.Labels[k] <= 0 {
+				res.Labels[k] = cid
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		scratch = ix.NeighborSearch(int32(i), p.Eps, m, scratch[:0])
+		if len(scratch) < p.MinPts {
+			res.Labels[i] = cluster.Noise
+			continue
+		}
+		cid++
+		res.Labels[i] = cid
+		queue = queue[:0]
+		absorb(scratch, cid)
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			scratch = ix.NeighborSearch(j, p.Eps, m, scratch[:0])
+			if len(scratch) >= p.MinPts {
+				absorb(scratch, cid)
+			}
+		}
+	}
+	res.NumClusters = int(cid)
+	return res, nil
+}

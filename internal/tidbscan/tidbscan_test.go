@@ -1,0 +1,146 @@
+package tidbscan
+
+import (
+	"math/rand"
+	"testing"
+
+	"vdbscan/internal/cluster"
+	"vdbscan/internal/dbscan"
+	"vdbscan/internal/geom"
+	"vdbscan/internal/metrics"
+)
+
+func blobs(k, m, noise int, extent, sigma float64, seed int64) []geom.Point {
+	rnd := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, 0, k*m+noise)
+	for c := 0; c < k; c++ {
+		cx, cy := rnd.Float64()*extent, rnd.Float64()*extent
+		for i := 0; i < m; i++ {
+			pts = append(pts, geom.Point{
+				X: cx + rnd.NormFloat64()*sigma,
+				Y: cy + rnd.NormFloat64()*sigma,
+			})
+		}
+	}
+	for i := 0; i < noise; i++ {
+		pts = append(pts, geom.Point{X: rnd.Float64() * extent, Y: rnd.Float64() * extent})
+	}
+	return pts
+}
+
+func TestBuildSortedByRefDist(t *testing.T) {
+	pts := blobs(2, 100, 50, 20, 0.5, 1)
+	ix := Build(pts)
+	if ix.Len() != len(pts) {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	for i := 1; i < ix.Len(); i++ {
+		if ix.dist[i] < ix.dist[i-1] {
+			t.Fatal("distances not ascending")
+		}
+	}
+	// fwd is a permutation.
+	seen := make([]bool, len(pts))
+	for _, oi := range ix.Fwd() {
+		if seen[oi] {
+			t.Fatal("fwd not a permutation")
+		}
+		seen[oi] = true
+	}
+}
+
+func TestNeighborSearchMatchesLinear(t *testing.T) {
+	pts := blobs(3, 200, 100, 25, 0.7, 2)
+	ix := Build(pts)
+	rnd := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		i := int32(rnd.Intn(ix.Len()))
+		eps := 0.3 + rnd.Float64()*2
+		got := ix.NeighborSearch(i, eps, nil, nil)
+		want := 0
+		q := ix.pts[i]
+		for _, p := range ix.pts {
+			if q.DistSq(p) <= eps*eps {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("search(%d, %g) = %d, want %d", i, eps, len(got), want)
+		}
+	}
+}
+
+func TestTriangleInequalityPrunes(t *testing.T) {
+	// The window must examine fewer candidates than a full scan on data
+	// spread along the reference axis.
+	pts := blobs(5, 200, 100, 60, 0.5, 4)
+	ix := Build(pts)
+	var m metrics.Counters
+	for i := 0; i < ix.Len(); i++ {
+		ix.NeighborSearch(int32(i), 0.5, &m, nil)
+	}
+	s := m.Snapshot()
+	full := int64(ix.Len()) * int64(ix.Len())
+	if s.CandidatesExamined >= full {
+		t.Errorf("no pruning: %d candidates vs %d full", s.CandidatesExamined, full)
+	}
+	if s.CandidatesExamined < s.NeighborsFound {
+		t.Error("candidates < neighbors")
+	}
+}
+
+func TestRunMatchesReferenceDBSCAN(t *testing.T) {
+	pts := blobs(4, 150, 100, 25, 0.6, 5)
+	p := dbscan.Params{Eps: 0.8, MinPts: 4}
+	ix := Build(pts)
+	got, err := Run(ix, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotOrig := got.Remap(ix.Fwd())
+	want, err := dbscan.RunBruteForce(pts, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotOrig.NumClusters != want.NumClusters {
+		t.Fatalf("clusters: ti %d vs brute %d", gotOrig.NumClusters, want.NumClusters)
+	}
+	if gotOrig.NumNoise() != want.NumNoise() {
+		t.Fatalf("noise: ti %d vs brute %d", gotOrig.NumNoise(), want.NumNoise())
+	}
+	if d := cluster.DisagreementCount(gotOrig, want); d > len(pts)/200 {
+		t.Fatalf("disagreements = %d", d)
+	}
+}
+
+func TestRunValidationAndEdgeCases(t *testing.T) {
+	ix := Build(nil)
+	res, err := Run(ix, dbscan.Params{Eps: 1, MinPts: 3}, nil)
+	if err != nil || res.Len() != 0 {
+		t.Fatalf("empty: %v %v", res, err)
+	}
+	if _, err := Run(ix, dbscan.Params{Eps: 0, MinPts: 3}, nil); err == nil {
+		t.Error("bad params accepted")
+	}
+	// Duplicates at the reference corner (distance 0 window).
+	dup := make([]geom.Point, 20)
+	for i := range dup {
+		dup[i] = geom.Point{X: 1, Y: 1}
+	}
+	ix = Build(dup)
+	res, _ = Run(ix, dbscan.Params{Eps: 0.5, MinPts: 4}, nil)
+	if res.NumClusters != 1 || res.NumClustered() != 20 {
+		t.Fatalf("duplicates: %v", res)
+	}
+}
+
+func TestBoundaryExactlyEps(t *testing.T) {
+	// Two points exactly eps apart along the reference diagonal: the window
+	// tie-extension must keep them mutual neighbors.
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 3, Y: 4}} // ref (0,0); dist 0 and 5
+	ix := Build(pts)
+	got := ix.NeighborSearch(0, 5, nil, nil)
+	if len(got) != 2 {
+		t.Fatalf("exact-eps neighbors = %d, want 2", len(got))
+	}
+}

@@ -1,0 +1,233 @@
+// Package track links clusters across consecutive map frames into moving
+// features — the step that turns per-frame clusterings into Traveling
+// Ionospheric Disturbance *tracks* with propagation velocities, which is
+// the space-weather product the paper's application ultimately needs
+// (TIDs "propagate in a wave-like fashion", §I).
+//
+// Tracking is deliberately simple and deterministic: features (clusters
+// above a size floor) are matched frame-to-frame by greedy nearest-centroid
+// assignment under a maximum jump distance; unmatched features start new
+// tracks. Velocities come from a least-squares fit of centroid positions
+// over time.
+package track
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vdbscan/internal/cluster"
+	"vdbscan/internal/geom"
+)
+
+// Feature is one cluster observed in one frame.
+type Feature struct {
+	// ClusterID is the cluster's ID within its frame's clustering.
+	ClusterID int32
+	// Size is the number of points.
+	Size int
+	// MBB is the cluster's bounding box.
+	MBB geom.MBB
+	// Centroid is the mean point position.
+	Centroid geom.Point
+	// Time is the frame epoch.
+	Time float64
+}
+
+// Extract summarizes a frame's clustering into features, dropping clusters
+// smaller than minSize. pts must be the frame's points in the same index
+// space as res.
+func Extract(pts []geom.Point, res *cluster.Result, time float64, minSize int) []Feature {
+	var out []Feature
+	for id := int32(1); id <= int32(res.NumClusters); id++ {
+		members := res.ClusterPoints(id)
+		if len(members) < minSize {
+			continue
+		}
+		var sx, sy float64
+		b := geom.EmptyMBB()
+		for _, i := range members {
+			p := pts[i]
+			sx += p.X
+			sy += p.Y
+			b = b.ExtendPoint(p)
+		}
+		n := float64(len(members))
+		out = append(out, Feature{
+			ClusterID: id,
+			Size:      len(members),
+			MBB:       b,
+			Centroid:  geom.Point{X: sx / n, Y: sy / n},
+			Time:      time,
+		})
+	}
+	// Deterministic order: largest first.
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Size != out[b].Size {
+			return out[a].Size > out[b].Size
+		}
+		return out[a].ClusterID < out[b].ClusterID
+	})
+	return out
+}
+
+// Track is one feature followed through time.
+type Track struct {
+	// ID is the tracker-assigned identity.
+	ID int
+	// History holds the matched features in time order.
+	History []Feature
+}
+
+// Len returns the number of frames the track spans.
+func (t *Track) Len() int { return len(t.History) }
+
+// Last returns the most recent feature.
+func (t *Track) Last() Feature { return t.History[len(t.History)-1] }
+
+// Velocity estimates (vx, vy) in position units per time unit via a
+// least-squares fit over the track's centroids. Tracks shorter than 2
+// frames report (0, 0).
+func (t *Track) Velocity() (vx, vy float64) {
+	n := len(t.History)
+	if n < 2 {
+		return 0, 0
+	}
+	var st, sx, sy, stt, stx, sty float64
+	for _, f := range t.History {
+		st += f.Time
+		sx += f.Centroid.X
+		sy += f.Centroid.Y
+		stt += f.Time * f.Time
+		stx += f.Time * f.Centroid.X
+		sty += f.Time * f.Centroid.Y
+	}
+	fn := float64(n)
+	den := fn*stt - st*st
+	if den == 0 {
+		return 0, 0
+	}
+	return (fn*stx - st*sx) / den, (fn*sty - st*sy) / den
+}
+
+// Speed returns the scalar propagation speed.
+func (t *Track) Speed() float64 {
+	vx, vy := t.Velocity()
+	return math.Hypot(vx, vy)
+}
+
+// GrowthRate returns the relative size change per time unit over the
+// track's life (0 for short tracks) — the early-warning trigger quantity.
+func (t *Track) GrowthRate() float64 {
+	n := len(t.History)
+	if n < 2 {
+		return 0
+	}
+	first, last := t.History[0], t.History[n-1]
+	dt := last.Time - first.Time
+	if dt == 0 || first.Size == 0 {
+		return 0
+	}
+	return (float64(last.Size)/float64(first.Size) - 1) / dt
+}
+
+// Tracker links frames incrementally.
+type Tracker struct {
+	// MaxJump is the maximum centroid displacement between consecutive
+	// frames for a match.
+	MaxJump float64
+	// MaxGap is the maximum time a track may go unmatched before it is
+	// retired (0 retires after any missed frame).
+	MaxGap float64
+
+	nextID  int
+	active  []*Track
+	retired []*Track
+}
+
+// NewTracker returns a tracker with the given matching gate.
+func NewTracker(maxJump, maxGap float64) *Tracker {
+	return &Tracker{MaxJump: maxJump, MaxGap: maxGap}
+}
+
+// Advance matches a new frame's features against active tracks. Matching is
+// greedy by ascending centroid distance, one feature per track.
+func (tr *Tracker) Advance(features []Feature) {
+	type pair struct {
+		trackIdx, featIdx int
+		dist              float64
+	}
+	var pairs []pair
+	for ti, t := range tr.active {
+		last := t.Last()
+		for fi, f := range features {
+			d := last.Centroid.Dist(f.Centroid)
+			if d <= tr.MaxJump {
+				pairs = append(pairs, pair{ti, fi, d})
+			}
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].dist != pairs[b].dist {
+			return pairs[a].dist < pairs[b].dist
+		}
+		if pairs[a].trackIdx != pairs[b].trackIdx {
+			return pairs[a].trackIdx < pairs[b].trackIdx
+		}
+		return pairs[a].featIdx < pairs[b].featIdx
+	})
+	trackTaken := make([]bool, len(tr.active))
+	featTaken := make([]bool, len(features))
+	for _, p := range pairs {
+		if trackTaken[p.trackIdx] || featTaken[p.featIdx] {
+			continue
+		}
+		trackTaken[p.trackIdx] = true
+		featTaken[p.featIdx] = true
+		tr.active[p.trackIdx].History = append(tr.active[p.trackIdx].History, features[p.featIdx])
+	}
+	// Retire unmatched tracks that exceeded the gap; keep the rest active.
+	var still []*Track
+	var frameTime float64
+	if len(features) > 0 {
+		frameTime = features[0].Time
+	}
+	for ti, t := range tr.active {
+		if trackTaken[ti] {
+			still = append(still, t)
+			continue
+		}
+		if len(features) > 0 && frameTime-t.Last().Time > tr.MaxGap {
+			tr.retired = append(tr.retired, t)
+		} else {
+			still = append(still, t)
+		}
+	}
+	tr.active = still
+	// New tracks for unmatched features.
+	for fi, f := range features {
+		if featTaken[fi] {
+			continue
+		}
+		tr.nextID++
+		tr.active = append(tr.active, &Track{ID: tr.nextID, History: []Feature{f}})
+	}
+}
+
+// Active returns the live tracks (still being matched).
+func (tr *Tracker) Active() []*Track { return tr.active }
+
+// All returns every track, live and retired, in creation order.
+func (tr *Tracker) All() []*Track {
+	all := append([]*Track(nil), tr.retired...)
+	all = append(all, tr.active...)
+	sort.Slice(all, func(a, b int) bool { return all[a].ID < all[b].ID })
+	return all
+}
+
+// String implements fmt.Stringer.
+func (t *Track) String() string {
+	vx, vy := t.Velocity()
+	return fmt.Sprintf("track%d{frames=%d size=%d v=(%.2f, %.2f)}",
+		t.ID, t.Len(), t.Last().Size, vx, vy)
+}

@@ -1,0 +1,139 @@
+package track
+
+import (
+	"math"
+	"testing"
+
+	"vdbscan/internal/cluster"
+	"vdbscan/internal/geom"
+)
+
+func feature(x, y float64, size int, time float64) Feature {
+	return Feature{
+		Size:     size,
+		Centroid: geom.Point{X: x, Y: y},
+		MBB:      geom.MBB{MinX: x - 1, MinY: y - 1, MaxX: x + 1, MaxY: y + 1},
+		Time:     time,
+	}
+}
+
+func TestExtract(t *testing.T) {
+	pts := []geom.Point{
+		{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 1, Y: 2}, // cluster 1, centroid (1, 2/3)
+		{X: 10, Y: 10}, // cluster 2 (too small with minSize 2? size 1)
+		{X: 5, Y: 5},   // noise
+	}
+	res := &cluster.Result{Labels: []int32{1, 1, 1, 2, cluster.Noise}, NumClusters: 2}
+	fs := Extract(pts, res, 3.5, 2)
+	if len(fs) != 1 {
+		t.Fatalf("features = %d, want 1 (size floor)", len(fs))
+	}
+	f := fs[0]
+	if f.ClusterID != 1 || f.Size != 3 || f.Time != 3.5 {
+		t.Errorf("feature = %+v", f)
+	}
+	if math.Abs(f.Centroid.X-1) > 1e-12 || math.Abs(f.Centroid.Y-2.0/3) > 1e-12 {
+		t.Errorf("centroid = %v", f.Centroid)
+	}
+	// minSize 1 keeps both, ordered by size.
+	fs = Extract(pts, res, 0, 1)
+	if len(fs) != 2 || fs[0].Size < fs[1].Size {
+		t.Errorf("features = %+v", fs)
+	}
+}
+
+func TestTrackerFollowsMovingFeature(t *testing.T) {
+	tr := NewTracker(3, 1)
+	for f := 0; f < 6; f++ {
+		tr.Advance([]Feature{feature(float64(f)*2, 0, 100, float64(f))})
+	}
+	all := tr.All()
+	if len(all) != 1 {
+		t.Fatalf("tracks = %d, want 1", len(all))
+	}
+	if all[0].Len() != 6 {
+		t.Errorf("track frames = %d", all[0].Len())
+	}
+	vx, vy := all[0].Velocity()
+	if math.Abs(vx-2) > 1e-9 || math.Abs(vy) > 1e-9 {
+		t.Errorf("velocity = (%g, %g), want (2, 0)", vx, vy)
+	}
+	if math.Abs(all[0].Speed()-2) > 1e-9 {
+		t.Errorf("speed = %g", all[0].Speed())
+	}
+}
+
+func TestTrackerJumpGate(t *testing.T) {
+	tr := NewTracker(1, 0)
+	tr.Advance([]Feature{feature(0, 0, 50, 0)})
+	// Too far: becomes a new track; old one retires after the gap.
+	tr.Advance([]Feature{feature(10, 0, 50, 1)})
+	all := tr.All()
+	if len(all) != 2 {
+		t.Fatalf("tracks = %d, want 2", len(all))
+	}
+	if len(tr.Active()) != 1 {
+		t.Errorf("active = %d, want 1 (far track retired)", len(tr.Active()))
+	}
+}
+
+func TestTrackerGreedyDisambiguation(t *testing.T) {
+	// Two tracks, two features: each feature must match its nearest track.
+	tr := NewTracker(5, 1)
+	tr.Advance([]Feature{feature(0, 0, 50, 0), feature(10, 0, 60, 0)})
+	tr.Advance([]Feature{feature(1, 0, 55, 1), feature(9, 0, 65, 1)})
+	all := tr.All()
+	if len(all) != 2 {
+		t.Fatalf("tracks = %d", len(all))
+	}
+	for _, trk := range all {
+		if trk.Len() != 2 {
+			t.Errorf("track %d frames = %d, want 2", trk.ID, trk.Len())
+		}
+		dx := trk.History[1].Centroid.X - trk.History[0].Centroid.X
+		if math.Abs(dx) > 1.5 {
+			t.Errorf("track %d jumped %g — crossed assignment", trk.ID, dx)
+		}
+	}
+}
+
+func TestTrackerGapRetirement(t *testing.T) {
+	tr := NewTracker(2, 1.5)
+	tr.Advance([]Feature{feature(0, 0, 50, 0)})
+	tr.Advance([]Feature{feature(100, 100, 10, 1)}) // no match; gap 1 <= 1.5 keeps it
+	if len(tr.Active()) != 2 {
+		t.Fatalf("active = %d, want 2 (within gap)", len(tr.Active()))
+	}
+	tr.Advance([]Feature{feature(100, 102, 10, 3)}) // gap 3 > 1.5 retires track 1
+	active := tr.Active()
+	for _, trk := range active {
+		if trk.ID == 1 {
+			t.Error("track 1 should be retired")
+		}
+	}
+	if len(tr.All()) != 2 {
+		t.Errorf("total tracks = %d", len(tr.All()))
+	}
+}
+
+func TestGrowthRate(t *testing.T) {
+	trk := &Track{History: []Feature{feature(0, 0, 100, 0), feature(1, 0, 200, 2)}}
+	// Size doubled over 2 time units: (2-1)/2 = 0.5 per unit.
+	if got := trk.GrowthRate(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("growth = %g", got)
+	}
+	short := &Track{History: []Feature{feature(0, 0, 100, 0)}}
+	if short.GrowthRate() != 0 {
+		t.Error("short track growth should be 0")
+	}
+	if vx, vy := short.Velocity(); vx != 0 || vy != 0 {
+		t.Error("short track velocity should be 0")
+	}
+}
+
+func TestTrackString(t *testing.T) {
+	trk := &Track{ID: 3, History: []Feature{feature(0, 0, 10, 0)}}
+	if trk.String() == "" {
+		t.Error("String empty")
+	}
+}

@@ -1,0 +1,345 @@
+// Package vdbscan is a Go implementation of VariantDBSCAN — variant-based
+// parallel density clustering as described in "Exploiting Variant-Based
+// Parallelism for Data Mining of Space Weather Phenomena" (Gowanlock, Blair,
+// Pankratius; IPPS 2016).
+//
+// The library clusters a 2-D point database with many DBSCAN parameter
+// variants (ε, minpts) at once, maximizing throughput by
+//
+//   - sharing one immutable pair of R-tree indexes across all variants
+//     (a low-resolution tree with r points per leaf MBB for ε-searches and
+//     a high-resolution tree for cluster sweeps);
+//   - reusing the cluster results of completed variants whose parameters
+//     satisfy the inclusion criteria ε_i ≥ ε_j, minpts_i ≤ minpts_j; and
+//   - scheduling variant executions across a goroutine pool so that useful
+//     reuse sources complete early.
+//
+// # Quick start
+//
+//	points := []vdbscan.Point{{X: 1, Y: 2}, ...}
+//	idx := vdbscan.NewIndex(points)
+//	run, err := idx.ClusterVariants([]vdbscan.Params{
+//		{Eps: 0.4, MinPts: 8},
+//		{Eps: 0.6, MinPts: 4},
+//	}, vdbscan.WithThreads(8))
+//
+// Each entry of run.Results holds the clustering for the corresponding
+// input parameters, with labels in the caller's point order (-1 = noise,
+// 1..NumClusters = cluster IDs).
+package vdbscan
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"vdbscan/internal/cluster"
+	"vdbscan/internal/dbscan"
+	"vdbscan/internal/geom"
+	"vdbscan/internal/metrics"
+	"vdbscan/internal/quality"
+	"vdbscan/internal/reuse"
+	"vdbscan/internal/sched"
+	"vdbscan/internal/variant"
+)
+
+// Point is a 2-D observation (for TEC maps: longitude-like X and
+// latitude-like Y, in degrees).
+type Point = geom.Point
+
+// Params are the DBSCAN inputs defining one variant: the neighborhood
+// radius Eps and the core-point threshold MinPts.
+type Params = dbscan.Params
+
+// Clustering is a clustering result. Labels[i] is the label of input point
+// i: Noise (-1) or a cluster ID in 1..NumClusters.
+type Clustering = cluster.Result
+
+// Noise is the label of outlier points.
+const Noise = cluster.Noise
+
+// Work is a snapshot of the work counters accumulated during a run:
+// ε-neighborhood searches, candidate points filtered, points reused from
+// completed variants, and R-tree nodes visited.
+type Work = metrics.Snapshot
+
+// ReuseScheme selects the seed-cluster prioritization used when a variant
+// reuses a completed variant's clusters (paper §IV-C).
+type ReuseScheme = reuse.Scheme
+
+// Reuse schemes, in the paper's naming.
+const (
+	// ClusDefault expands seed clusters in generation order.
+	ClusDefault = reuse.ClusDefault
+	// ClusDensity expands the densest clusters (|C|/area) first — the
+	// paper's recommended scheme and this package's default.
+	ClusDensity = reuse.ClusDensity
+	// ClusPtsSquared expands clusters by |C|²/area, favoring point count.
+	ClusPtsSquared = reuse.ClusPtsSquared
+)
+
+// SchedStrategy selects the variant scheduling heuristic (paper §IV-D).
+type SchedStrategy = sched.Strategy
+
+// Scheduling strategies, in the paper's naming.
+const (
+	// SchedGreedy reuses the completed variant with the smallest parameter
+	// difference — the paper's more robust heuristic and the default.
+	SchedGreedy = sched.SchedGreedy
+	// SchedMinPts first clusters, from scratch, the max-minpts variant of
+	// each unique ε to diversify reuse sources.
+	SchedMinPts = sched.SchedMinPts
+	// SchedTree executes the dependency tree of minimal parameter
+	// differences depth-first, pinning each variant's reuse source to its
+	// tree parent (an extension beyond the paper's two heuristics).
+	SchedTree = sched.SchedTree
+)
+
+// Option configures an Index or a clustering run.
+type Option func(*config)
+
+type config struct {
+	ctx          context.Context
+	r            int
+	binWidth     float64
+	threads      int
+	scheme       ReuseScheme
+	strategy     SchedStrategy
+	minSeedSize  int
+	disableReuse bool
+	work         *Work
+}
+
+func buildConfig(opts []Option) config {
+	c := config{
+		ctx:      context.Background(),
+		r:        dbscan.DefaultR,
+		binWidth: dbscan.DefaultBinWidth,
+		threads:  1,
+		scheme:   ClusDensity,
+		strategy: SchedGreedy,
+	}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// WithR sets the leaf occupancy r of the ε-search R-tree: the number of
+// points indexed per minimum bounding box. Larger r trades extra candidate
+// filtering for fewer memory accesses; the paper finds 70–110 good in
+// degree-scaled TEC data (default 70).
+func WithR(r int) Option { return func(c *config) { c.r = r } }
+
+// WithBinWidth sets the width of the spatial sorting bins applied before
+// indexing (default 1, the paper's unit-width bins).
+func WithBinWidth(w float64) Option { return func(c *config) { c.binWidth = w } }
+
+// WithThreads sets the number of worker goroutines T executing variants
+// concurrently (default 1).
+func WithThreads(t int) Option { return func(c *config) { c.threads = t } }
+
+// WithReuseScheme selects the cluster-reuse prioritization
+// (default ClusDensity).
+func WithReuseScheme(s ReuseScheme) Option { return func(c *config) { c.scheme = s } }
+
+// WithStrategy selects the variant scheduling heuristic
+// (default SchedGreedy).
+func WithStrategy(s SchedStrategy) Option { return func(c *config) { c.strategy = s } }
+
+// WithMinSeedSize excludes completed clusters smaller than n points from
+// reuse; their points are clustered from scratch instead. Sweeping a tiny
+// cluster's MBB can cost more ε-searches than copying it saves (default 0:
+// reuse every cluster).
+func WithMinSeedSize(n int) Option { return func(c *config) { c.minSeedSize = n } }
+
+// WithoutReuse forces every variant to cluster from scratch, keeping only
+// the shared-index parallelism (the paper's scenario-S1 baseline).
+func WithoutReuse() Option { return func(c *config) { c.disableReuse = true } }
+
+// WithWork records the run's accumulated work counters into w.
+func WithWork(w *Work) Option { return func(c *config) { c.work = w } }
+
+// WithContext attaches a cancellation context to ClusterVariants: when ctx
+// is canceled, no further variants start and the run returns ctx's error.
+func WithContext(ctx context.Context) Option {
+	return func(c *config) {
+		if ctx != nil {
+			c.ctx = ctx
+		}
+	}
+}
+
+// Index is an immutable spatial index over one point database, shared by
+// any number of clustering runs (concurrently safe once built).
+type Index struct {
+	ix  *dbscan.Index
+	pts []Point
+}
+
+// NewIndex grid-sorts points and builds the shared R-trees. Only WithR and
+// WithBinWidth options apply. The input slice is not retained or modified.
+func NewIndex(points []Point, opts ...Option) *Index {
+	c := buildConfig(opts)
+	cp := append([]Point(nil), points...)
+	return &Index{
+		ix:  dbscan.BuildIndex(cp, dbscan.IndexOptions{R: c.r, BinWidth: c.binWidth}),
+		pts: cp,
+	}
+}
+
+// Len returns the number of indexed points.
+func (x *Index) Len() int { return x.ix.Len() }
+
+// R returns the ε-search tree's leaf occupancy.
+func (x *Index) R() int { return x.ix.R() }
+
+// Points returns the indexed points in the caller's original order.
+func (x *Index) Points() []Point { return x.pts }
+
+// Cluster runs a single DBSCAN variant and returns labels in the caller's
+// point order.
+func (x *Index) Cluster(p Params, opts ...Option) (*Clustering, error) {
+	c := buildConfig(opts)
+	var m metrics.Counters
+	res, err := dbscan.Run(x.ix, p, &m)
+	if err != nil {
+		return nil, err
+	}
+	if c.work != nil {
+		*c.work = c.work.Add(m.Snapshot())
+	}
+	return res.Remap(x.ix.Fwd), nil
+}
+
+// VariantResult is the outcome of one variant in a ClusterVariants run.
+type VariantResult struct {
+	// Params echoes the variant's parameters.
+	Params Params
+	// Clustering holds labels in the caller's point order.
+	Clustering *Clustering
+	// FromScratch is true when the variant could not reuse any completed
+	// variant and ran plain DBSCAN.
+	FromScratch bool
+	// FractionReused is the fraction of points copied from a completed
+	// variant without an ε-neighborhood search.
+	FractionReused float64
+	// SourceIndex is the position (in the input params slice) of the
+	// variant whose result was reused, or -1.
+	SourceIndex int
+	// Worker identifies the pool worker that ran the variant.
+	Worker int
+	// Start and End are offsets from the beginning of the run.
+	Start, End time.Duration
+}
+
+// Duration returns the variant's response time.
+func (vr VariantResult) Duration() time.Duration { return vr.End - vr.Start }
+
+// VariantRun is the outcome of executing a whole variant set.
+type VariantRun struct {
+	// Results is parallel to the input params slice.
+	Results []VariantResult
+	// Makespan is the wall-clock duration of the run.
+	Makespan time.Duration
+	// TotalWork is the sum of per-variant durations (TotalWork/Threads is
+	// the no-idle lower bound on the makespan).
+	TotalWork time.Duration
+	// Threads is the worker pool size used.
+	Threads int
+}
+
+// MeanFractionReused averages the per-variant fraction of reused points.
+func (r *VariantRun) MeanFractionReused() float64 {
+	if len(r.Results) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, vr := range r.Results {
+		sum += vr.FractionReused
+	}
+	return sum / float64(len(r.Results))
+}
+
+// ClusterVariants executes every parameter variant with VariantDBSCAN:
+// variants run concurrently on WithThreads workers, reusing completed
+// variants' clusters whenever the inclusion criteria allow.
+func (x *Index) ClusterVariants(params []Params, opts ...Option) (*VariantRun, error) {
+	if len(params) == 0 {
+		return nil, fmt.Errorf("vdbscan: no variants given")
+	}
+	c := buildConfig(opts)
+	var m metrics.Counters
+	rr, err := sched.ExecuteContext(c.ctx, x.ix, variant.New(params), sched.Options{
+		Threads:      c.threads,
+		Strategy:     c.strategy,
+		Scheme:       c.scheme,
+		MinSeedSize:  c.minSeedSize,
+		DisableReuse: c.disableReuse,
+		Metrics:      &m,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if c.work != nil {
+		*c.work = c.work.Add(m.Snapshot())
+	}
+	out := &VariantRun{
+		Results:   make([]VariantResult, len(params)),
+		Makespan:  rr.Makespan,
+		TotalWork: rr.TotalWork,
+		Threads:   rr.Threads,
+	}
+	for i, r := range rr.Results {
+		out.Results[i] = VariantResult{
+			Params:         r.Variant.Params,
+			Clustering:     r.Result.Remap(x.ix.Fwd),
+			FromScratch:    r.Stats.FromScratch,
+			FractionReused: r.Stats.FractionReused,
+			SourceIndex:    r.SourceID,
+			Worker:         r.Worker,
+			Start:          r.Start,
+			End:            r.End,
+		}
+	}
+	return out, nil
+}
+
+// Cluster is the one-shot convenience: index points and run a single
+// DBSCAN variant.
+func Cluster(points []Point, p Params, opts ...Option) (*Clustering, error) {
+	return NewIndex(points, opts...).Cluster(p, opts...)
+}
+
+// ClusterVariants is the one-shot convenience: index points and run every
+// variant with VariantDBSCAN.
+func ClusterVariants(points []Point, params []Params, opts ...Option) (*VariantRun, error) {
+	return NewIndex(points, opts...).ClusterVariants(params, opts...)
+}
+
+// Quality scores candidate against reference with the per-point Jaccard
+// metric of paper §V-D: 1.0 means identical assignments; the paper reports
+// VariantDBSCAN ≥ 0.998 versus plain DBSCAN.
+func Quality(reference, candidate *Clustering) (float64, error) {
+	return quality.Score(reference, candidate)
+}
+
+// CanReuse reports whether a variant with parameters target may reuse the
+// completed clustering of a variant with parameters source (the inclusion
+// criteria of paper §IV-B).
+func CanReuse(target, source Params) bool {
+	return variant.CanReuse(target, source)
+}
+
+// CartesianVariants builds the variant set V = A × B used throughout the
+// paper's evaluation: every ε in epsValues crossed with every minpts in
+// minptsValues.
+func CartesianVariants(epsValues []float64, minptsValues []int) []Params {
+	out := make([]Params, 0, len(epsValues)*len(minptsValues))
+	for _, e := range epsValues {
+		for _, mp := range minptsValues {
+			out = append(out, Params{Eps: e, MinPts: mp})
+		}
+	}
+	return out
+}
