@@ -9,6 +9,7 @@
 package vdbscan
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -27,7 +28,6 @@ import (
 	"vdbscan/internal/tec"
 	"vdbscan/internal/tidbscan"
 	"vdbscan/internal/track"
-	"vdbscan/internal/unionfind"
 	"vdbscan/internal/variant"
 )
 
@@ -411,7 +411,7 @@ func BenchmarkAblationUnionFind(b *testing.B) {
 	})
 	b.Run("unionfind", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := unionfind.Run(fixTECIx, tecParams, nil); err != nil {
+			if _, err := dbscan.RunDisjointSet(fixTECIx, tecParams, nil); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -689,6 +689,111 @@ func BenchmarkAblationApproxDBSCAN(b *testing.B) {
 		b.Run(map[float64]string{0.05: "rho0.05", 0.2: "rho0.2", 0.5: "rho0.5"}[rho], func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := approx.Run(pts, approx.Params{Eps: 2, MinPts: 4, Rho: rho}, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Intra-variant parallelism (union-find DBSCAN + two-level scheduling) ---
+
+// The big fixture exists so BenchmarkRunParallel has enough work per phase
+// for the chunk cursor and per-worker metric batching to matter.
+var (
+	fixBigOnce sync.Once
+	fixBigIx   *dbscan.Index
+)
+
+func bigFixture(b *testing.B) *dbscan.Index {
+	b.Helper()
+	fixBigOnce.Do(func() {
+		ds, err := data.Generate(data.SynthConfig{
+			Class: data.ClassCF, N: 100_000, NoiseFrac: 0.15, Seed: 0xB16F1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		fixBigIx = dbscan.BuildIndex(ds.Points, dbscan.IndexOptions{R: 70})
+	})
+	return fixBigIx
+}
+
+// BenchmarkRunParallel measures intra-variant DBSCAN at increasing worker
+// counts against the sequential expansion baseline on a 100k-point fixture.
+// Speedup beyond workers=1 requires GOMAXPROCS > 1; on a single core the
+// interesting quantity is the parallel algorithm's overhead over Run.
+func BenchmarkRunParallel(b *testing.B) {
+	ix := bigFixture(b)
+	// ε=1 keeps the retained core neighborhoods (the disjoint-set
+	// formulation's memory cost) in the tens of megabytes at n=100k.
+	p := dbscan.Params{Eps: 1, MinPts: 4}
+	b.Run("sequential", func(b *testing.B) {
+		var m metrics.Counters
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := dbscan.Run(ix, p, &m); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportWork(b, m.Snapshot(), b.N)
+	})
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			var m metrics.Counters
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dbscan.RunParallel(ix, p, w, &m); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportWork(b, m.Snapshot(), b.N)
+		})
+	}
+}
+
+// BenchmarkTwoLevelSingleVariant is the |V| < T regime: one variant on an
+// 8-worker pool. The paper's one-variant-per-worker scheduler leaves 7
+// workers idle; donation routes them into the variant's parallel phases.
+func BenchmarkTwoLevelSingleVariant(b *testing.B) {
+	fixtures(b)
+	vs := variant.New([]dbscan.Params{tecParams})
+	for _, cfg := range []struct {
+		name string
+		opt  sched.Options
+	}{
+		{"variant-only", sched.Options{Threads: 8}},
+		{"two-level", sched.Options{Threads: 8, DonateIdle: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sched.Execute(fixTECIx, vs, cfg.opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTwoLevelTailSkew is the end-of-run tail: three cheap variants and
+// one expensive one on a 4-worker pool, all from scratch. Without donation
+// the makespan is the slow variant alone; with it, finished workers join in.
+func BenchmarkTwoLevelTailSkew(b *testing.B) {
+	fixtures(b)
+	vs := variant.New([]dbscan.Params{
+		{Eps: 0.5, MinPts: 8}, {Eps: 0.5, MinPts: 16}, {Eps: 0.5, MinPts: 32},
+		{Eps: 4, MinPts: 4}, // the tail: far larger ε-neighborhoods
+	})
+	for _, cfg := range []struct {
+		name string
+		opt  sched.Options
+	}{
+		{"variant-only", sched.Options{Threads: 4, DisableReuse: true}},
+		{"two-level", sched.Options{Threads: 4, DisableReuse: true, DonateIdle: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sched.Execute(fixTECIx, vs, cfg.opt); err != nil {
 					b.Fatal(err)
 				}
 			}

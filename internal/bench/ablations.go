@@ -9,7 +9,6 @@ import (
 	"vdbscan/internal/reuse"
 	"vdbscan/internal/rtree"
 	"vdbscan/internal/sched"
-	"vdbscan/internal/unionfind"
 	"vdbscan/internal/variant"
 )
 
@@ -98,7 +97,7 @@ func (s *Suite) Ablations() error {
 	}
 	t.add("dbscan-core", "expansion", seconds(time.Since(start)), p.String())
 	start = time.Now()
-	if _, err := unionfind.Run(ix, p, nil); err != nil {
+	if _, err := dbscan.RunDisjointSet(ix, p, nil); err != nil {
 		return err
 	}
 	t.add("dbscan-core", "unionfind", seconds(time.Since(start)), "disjoint-set formulation")

@@ -15,6 +15,7 @@
 package dbscan
 
 import (
+	"context"
 	"fmt"
 
 	"vdbscan/internal/cluster"
@@ -97,10 +98,35 @@ func (ix *Index) R() int { return ix.TLow.R() }
 // sorted-space point indices, including the query point itself when it is in
 // the database. m may be nil.
 func (ix *Index) NeighborSearch(p geom.Point, eps float64, m *metrics.Counters, dst []int32) []int32 {
+	dst, candidates, nodes := ix.neighborSearch(p, eps, dst)
+	m.AddNeighborSearches(1)
+	m.AddCandidatesExamined(candidates)
+	m.AddNodesVisited(nodes)
+	m.AddNeighborsFound(int64(len(dst)))
+	return dst
+}
+
+// NeighborSearchLocal is NeighborSearch accumulating into a per-worker
+// metrics.Local instead of shared atomic Counters. Parallel executions call
+// it on their hot path and flush the local once per work chunk, avoiding a
+// contended atomic read-modify-write per ε-search. l may be nil.
+func (ix *Index) NeighborSearchLocal(p geom.Point, eps float64, l *metrics.Local, dst []int32) []int32 {
+	dst, candidates, nodes := ix.neighborSearch(p, eps, dst)
+	if l != nil {
+		l.NeighborSearches++
+		l.CandidatesExamined += candidates
+		l.NodesVisited += nodes
+		l.NeighborsFound += int64(len(dst))
+	}
+	return dst
+}
+
+// neighborSearch is the uninstrumented Algorithm 2 body shared by the two
+// counter flavors.
+func (ix *Index) neighborSearch(p geom.Point, eps float64, dst []int32) (out []int32, candidates, nodes int64) {
 	q := geom.QueryMBB(p, eps)
 	epsSq := eps * eps
-	candidates := int64(0)
-	nodes := ix.TLow.Search(q, func(lr rtree.LeafRange) {
+	n := ix.TLow.Search(q, func(lr rtree.LeafRange) {
 		end := lr.Start + lr.Count
 		for i := lr.Start; i < end; i++ {
 			candidates++
@@ -109,11 +135,7 @@ func (ix *Index) NeighborSearch(p geom.Point, eps float64, m *metrics.Counters, 
 			}
 		}
 	})
-	m.AddNeighborSearches(1)
-	m.AddCandidatesExamined(candidates)
-	m.AddNodesVisited(int64(nodes))
-	m.AddNeighborsFound(int64(len(dst)))
-	return dst
+	return dst, candidates, int64(n)
 }
 
 // Params are the two DBSCAN inputs that define a variant.
@@ -147,6 +169,19 @@ func (p Params) String() string {
 // previously marked noise can be relabeled as a border point, matching the
 // original DBSCAN definition.
 func Run(ix *Index, p Params, m *metrics.Counters) (*cluster.Result, error) {
+	return RunCtx(context.Background(), ix, p, m)
+}
+
+// cancelCheckInterval is how many outer-loop points RunCtx and RunParallel
+// process between context checks. Coarse on purpose: a ctx.Err() call per
+// point would be measurable on the ε-search hot path, one per kilopoint is
+// not, and a single point's expansion is already bounded work.
+const cancelCheckInterval = 1024
+
+// RunCtx is Run with cancellation: ctx is checked every
+// cancelCheckInterval points of the outer loop, and the context error is
+// returned (with no partial result) once observed.
+func RunCtx(ctx context.Context, ix *Index, p Params, m *metrics.Counters) (*cluster.Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -177,6 +212,11 @@ func Run(ix *Index, p Params, m *metrics.Counters) (*cluster.Result, error) {
 	}
 
 	for i := 0; i < n; i++ {
+		if i%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if visited[i] {
 			continue
 		}

@@ -1,0 +1,90 @@
+package dbscan
+
+import (
+	"vdbscan/internal/cluster"
+	"vdbscan/internal/metrics"
+	"vdbscan/internal/unionfind"
+)
+
+// RunDisjointSet clusters the index under p with the sequential disjoint-set
+// formulation of Patwary et al. (SC 2012, the paper's reference [14]):
+// instead of breadth-first cluster expansion, core points are unioned with
+// their in-ε core neighbors, and border points attach to one neighboring
+// core point's set. This baseline is order-insensitive for core points,
+// which makes it a useful oracle for the expansion-based implementations
+// and the single-worker reference for RunParallel. m may be nil. Labels are
+// in the index's sorted space.
+//
+// Core-point cluster structure is identical to expansion-based DBSCAN;
+// border points reachable from several clusters attach to the one whose
+// core point is scanned first (the same ambiguity every DBSCAN has).
+func RunDisjointSet(ix *Index, p Params, m *metrics.Counters) (*cluster.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := ix.Len()
+	res := cluster.NewResult(n)
+	core := make([]bool, n)
+	neighborhoods := make([][]int32, n)
+
+	// Pass 1: one ε-search per point determines core status. Neighborhoods
+	// of core points are retained for the union pass.
+	var scratch []int32
+	for i := 0; i < n; i++ {
+		scratch = ix.NeighborSearch(ix.Pts[i], p.Eps, m, scratch[:0])
+		if len(scratch) >= p.MinPts {
+			core[i] = true
+			neighborhoods[i] = append([]int32(nil), scratch...)
+		}
+	}
+
+	// Pass 2: union every core point with its core neighbors.
+	dsu := unionfind.NewDSU(n)
+	for i := 0; i < n; i++ {
+		if !core[i] {
+			continue
+		}
+		for _, j := range neighborhoods[i] {
+			if core[j] {
+				dsu.Union(int32(i), j)
+			}
+		}
+	}
+
+	// Pass 3: label core sets with cluster IDs.
+	ids := map[int32]int32{}
+	var cid int32
+	for i := 0; i < n; i++ {
+		if !core[i] {
+			continue
+		}
+		root := dsu.Find(int32(i))
+		id, ok := ids[root]
+		if !ok {
+			cid++
+			id = cid
+			ids[root] = id
+		}
+		res.Labels[i] = id
+	}
+
+	// Pass 4: attach border points to the first scanning core neighbor;
+	// everything else is noise.
+	for i := 0; i < n; i++ {
+		if !core[i] {
+			res.Labels[i] = cluster.Noise
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !core[i] {
+			continue
+		}
+		for _, j := range neighborhoods[i] {
+			if res.Labels[j] == cluster.Noise {
+				res.Labels[j] = res.Labels[i]
+			}
+		}
+	}
+	res.NumClusters = int(cid)
+	return res, nil
+}

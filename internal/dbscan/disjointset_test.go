@@ -1,0 +1,99 @@
+package dbscan
+
+import (
+	"testing"
+
+	"vdbscan/internal/cluster"
+	"vdbscan/internal/geom"
+)
+
+func TestRunDisjointSetValidation(t *testing.T) {
+	ix := BuildIndex(blobs(1, 20, 0, 10, 0.5, 1), IndexOptions{})
+	if _, err := RunDisjointSet(ix, Params{Eps: 0, MinPts: 4}, nil); err == nil {
+		t.Error("eps=0 accepted")
+	}
+}
+
+func TestRunDisjointSetMatchesExpansionDBSCAN(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		pts  []geom.Point
+		p    Params
+	}{
+		{"blobs", blobs(4, 150, 100, 25, 0.6, 2), Params{Eps: 0.7, MinPts: 4}},
+		{"dense", blobs(2, 300, 30, 15, 0.4, 3), Params{Eps: 0.4, MinPts: 8}},
+		{"sparse-noise", blobs(0, 0, 400, 20, 1, 4), Params{Eps: 1.5, MinPts: 4}},
+		{"high-minpts", blobs(3, 200, 0, 25, 0.6, 5), Params{Eps: 0.8, MinPts: 32}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ix := BuildIndex(tc.pts, IndexOptions{R: 16})
+			got, err := RunDisjointSet(ix, tc.p, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Run(ix, tc.p, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.NumClusters != want.NumClusters {
+				t.Errorf("clusters: disjoint-set %d vs expansion %d", got.NumClusters, want.NumClusters)
+			}
+			// Core structure identical; only border ties may differ.
+			if d := cluster.DisagreementCount(got, want); d > len(tc.pts)/100 {
+				t.Errorf("disagreements = %d", d)
+			}
+		})
+	}
+}
+
+func TestRunDisjointSetEveryPointLabeled(t *testing.T) {
+	pts := blobs(3, 100, 100, 20, 0.6, 6)
+	ix := BuildIndex(pts, IndexOptions{R: 8})
+	res, err := RunDisjointSet(ix, Params{Eps: 0.7, MinPts: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range res.Labels {
+		if l == cluster.Unclassified {
+			t.Fatalf("point %d unclassified", i)
+		}
+	}
+}
+
+func TestRunDisjointSetEmpty(t *testing.T) {
+	ix := BuildIndex(nil, IndexOptions{})
+	res, err := RunDisjointSet(ix, Params{Eps: 1, MinPts: 4}, nil)
+	if err != nil || res.Len() != 0 {
+		t.Fatalf("empty: %v %v", res, err)
+	}
+}
+
+func TestRunDisjointSetCoreInvariantToOrder(t *testing.T) {
+	// The disjoint-set formulation is order-insensitive on core points:
+	// reversing the input must give the same partition of core points.
+	pts := blobs(3, 150, 80, 20, 0.6, 7)
+	p := Params{Eps: 0.7, MinPts: 4}
+	ixA := BuildIndex(pts, IndexOptions{R: 8})
+	a, _ := RunDisjointSet(ixA, p, nil)
+	aOrig := a.Remap(ixA.Fwd)
+
+	rev := make([]geom.Point, len(pts))
+	for i, pt := range pts {
+		rev[len(pts)-1-i] = pt
+	}
+	ixB := BuildIndex(rev, IndexOptions{R: 8})
+	b, _ := RunDisjointSet(ixB, p, nil)
+	bRev := b.Remap(ixB.Fwd)
+	// Un-reverse to original order.
+	bOrig := cluster.NewResult(len(pts))
+	bOrig.NumClusters = bRev.NumClusters
+	for i := range pts {
+		bOrig.Labels[i] = bRev.Labels[len(pts)-1-i]
+	}
+	if aOrig.NumClusters != bOrig.NumClusters {
+		t.Fatalf("cluster count depends on order: %d vs %d", aOrig.NumClusters, bOrig.NumClusters)
+	}
+	if d := cluster.DisagreementCount(aOrig, bOrig); d > len(pts)/100 {
+		t.Errorf("order-dependence beyond border ties: %d", d)
+	}
+}

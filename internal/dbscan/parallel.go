@@ -1,116 +1,275 @@
 package dbscan
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"vdbscan/internal/cluster"
 	"vdbscan/internal/metrics"
+	"vdbscan/internal/unionfind"
 )
 
-// RunParallel executes DBSCAN with intra-variant parallelism: the
-// ε-neighborhood searches of each expansion frontier are fanned out to a
-// worker pool, in the spirit of the master/worker schemes of Arlia &
-// Coppola (Euro-Par 2001) and Brecheisen et al. — the related work the
-// paper contrasts with variant-based parallelism (§III).
+// This file implements intra-variant parallel DBSCAN in the disjoint-set
+// style of Patwary et al. (SC 2012) and the theoretically-efficient
+// parallel DBSCAN of Wang, Gu & Shun (SIGMOD 2020): instead of the
+// inherently sequential breadth-first cluster expansion, the grid-sorted
+// point array is partitioned into contiguous chunks that workers claim
+// from an atomic cursor, each worker performs the ε-searches and core-point
+// marking for its chunks over the shared immutable T_low (safe without
+// locking — the trees are read-only by design), core→core edges are linked
+// through a lock-free unionfind.ConcurrentDSU, and border points attach to
+// the lowest-numbered adjacent cluster with a CAS min-reduction.
 //
-// The master performs the clustering logic; workers only answer range
-// queries, which is safe because the shared index is immutable. This is
-// the single-variant alternative to VariantDBSCAN: it reduces one
-// variant's response time, while VariantDBSCAN maximizes throughput over
-// many variants. The ablation benchmarks compare the two regimes.
+// The output is *identical* to sequential Run — not merely equivalent up to
+// renumbering — because both resolve every tie the same way:
 //
-// Results are equivalent to Run up to border-point ordering. workers <= 0
-// selects GOMAXPROCS.
+//   - Run numbers clusters in formation order, and a cluster forms when the
+//     outer loop reaches its minimum-index core point; linking through the
+//     index-ordered ConcurrentDSU and labeling core points in ascending
+//     index order reproduces exactly that numbering.
+//   - Run assigns a border point to the first-formed (lowest-cid) cluster
+//     that has a core point within ε of it; the CAS min-reduction computes
+//     the same cluster order-independently.
+//
+// This is the single-variant complement to VariantDBSCAN's inter-variant
+// parallelism: it reduces one variant's response time when there are fewer
+// runnable variants than cores (the |V| < T and end-of-run-tail regimes),
+// while the paper's scheduler maximizes throughput over many variants.
+// internal/sched composes the two levels by donating idle pool workers to
+// running variants through the Helper interface.
+
+// Helper donates extra worker goroutines to the parallel phases of
+// RunParallelOpts. Offer publishes a help function that idle donor
+// goroutines may invoke concurrently; help returns when the phase's work is
+// exhausted. The returned stop retracts the offer and blocks until every
+// in-flight donated invocation has returned, so the caller may rely on
+// happens-before between donated writes and its next phase.
+type Helper interface {
+	Offer(help func()) (stop func())
+}
+
+// ParallelOptions configures RunParallelOpts.
+type ParallelOptions struct {
+	// Workers is the number of goroutines the run drives itself, including
+	// the calling one; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Helper, when non-nil, contributes donated goroutines to every
+	// parallel phase on top of Workers (two-level scheduling).
+	Helper Helper
+}
+
+// parallelChunk is the number of contiguous grid-sorted points a worker
+// claims per cursor increment. Chunks are large enough to amortize the
+// cursor's atomic add and a metrics flush across many ε-searches, and small
+// enough to load-balance the skewed per-point search costs of clustered
+// data.
+const parallelChunk = 256
+
+// RunParallel executes DBSCAN with intra-variant parallelism and returns a
+// result identical to sequential Run (same labels, same cluster numbering,
+// same noise set). workers <= 0 selects GOMAXPROCS. m may be nil; counters
+// are accumulated per worker and flushed once per chunk, so the totals
+// match Run's exactly without per-search atomic contention.
 func RunParallel(ix *Index, p Params, workers int, m *metrics.Counters) (*cluster.Result, error) {
+	return RunParallelOpts(context.Background(), ix, p, ParallelOptions{Workers: workers}, m)
+}
+
+// RunParallelOpts is RunParallel with cancellation and donated workers. ctx
+// is checked once per chunk; on cancellation the phases drain and the
+// context error is returned with no partial result.
+func RunParallelOpts(ctx context.Context, ix *Index, p Params, opt ParallelOptions, m *metrics.Counters) (*cluster.Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	n := ix.Len()
+	res := cluster.NewResult(n)
+	if n == 0 {
+		return res, nil
+	}
+	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	n := ix.Len()
-	res := cluster.NewResult(n)
-	visited := make([]bool, n)
-	var cid int32
-
-	// searchBatch fans the ε-searches of batch out to the pool and returns
-	// the neighborhoods, aligned with batch.
-	results := make([][]int32, 0, 1024)
-	searchBatch := func(batch []int32) [][]int32 {
-		results = results[:0]
-		for range batch {
-			results = append(results, nil)
-		}
-		if len(batch) == 1 { // avoid goroutine overhead on tiny frontiers
-			results[0] = ix.NeighborSearch(ix.Pts[batch[0]], p.Eps, m, nil)
-			return results
-		}
-		var wg sync.WaitGroup
-		chunk := (len(batch) + workers - 1) / workers
-		for w := 0; w < workers && w*chunk < len(batch); w++ {
-			lo, hi := w*chunk, (w+1)*chunk
-			if hi > len(batch) {
-				hi = len(batch)
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				for i := lo; i < hi; i++ {
-					results[i] = ix.NeighborSearch(ix.Pts[batch[i]], p.Eps, m, nil)
-				}
-			}(lo, hi)
-		}
-		wg.Wait()
-		return results
+	nChunks := (n + parallelChunk - 1) / parallelChunk
+	if workers > nChunks {
+		workers = nChunks
 	}
 
-	frontier := make([]int32, 0, 1024)
-	next := make([]int32, 0, 1024)
-	for i := 0; i < n; i++ {
-		if visited[i] {
-			continue
-		}
-		visited[i] = true
-		seed := ix.NeighborSearch(ix.Pts[i], p.Eps, m, nil)
-		if len(seed) < p.MinPts {
-			res.Labels[i] = cluster.Noise
-			continue
-		}
-		cid++
-		res.Labels[i] = cid
-		frontier = frontier[:0]
-		for _, k := range seed {
-			if !visited[k] {
-				visited[k] = true
-				frontier = append(frontier, k)
+	core := make([]bool, n)
+	neighborhoods := make([][]int32, n)
+
+	// Phase 1: ε-search every point, mark core points, and retain their
+	// neighborhoods for the union and border passes. Workers claim
+	// contiguous chunks from the cursor; each writes only its own chunk's
+	// entries of core/neighborhoods, so the phase needs no locks.
+	var cursor1 atomic.Int64
+	mark := func() {
+		scratch := make([]int32, 0, 256)
+		var arena []int32 // batches neighborhood copies, one alloc per ~16k entries
+		var local metrics.Local
+		for {
+			if ctx.Err() != nil {
+				break
 			}
-			if res.Labels[k] <= 0 {
-				res.Labels[k] = cid
+			lo := int(cursor1.Add(1)-1) * parallelChunk
+			if lo >= n {
+				break
 			}
-		}
-		// Level-synchronous expansion: search the whole frontier in
-		// parallel, then absorb sequentially (the master).
-		for len(frontier) > 0 {
-			neighborhoods := searchBatch(frontier)
-			next = next[:0]
-			for bi := range frontier {
-				if len(neighborhoods[bi]) < p.MinPts {
+			hi := min(lo+parallelChunk, n)
+			for i := lo; i < hi; i++ {
+				scratch = ix.NeighborSearchLocal(ix.Pts[i], p.Eps, &local, scratch[:0])
+				if len(scratch) < p.MinPts {
 					continue
 				}
-				for _, k := range neighborhoods[bi] {
-					if !visited[k] {
-						visited[k] = true
-						next = append(next, k)
+				core[i] = true
+				if cap(arena)-len(arena) < len(scratch) {
+					// Fresh arena; retired arrays stay alive via the
+					// neighborhood subslices that point into them.
+					size := 16 * 1024
+					if size < len(scratch) {
+						size = len(scratch)
 					}
-					if res.Labels[k] <= 0 {
-						res.Labels[k] = cid
+					arena = make([]int32, 0, size)
+				}
+				start := len(arena)
+				arena = append(arena, scratch...)
+				neighborhoods[i] = arena[start:len(arena):len(arena)]
+			}
+			local.FlushTo(m)
+		}
+		local.FlushTo(m)
+	}
+	runPhase(workers, opt.Helper, mark)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: link core→core ε-edges through the lock-free DSU. Each
+	// symmetric edge is linked once, from its higher-index endpoint.
+	dsu := unionfind.NewConcurrent(n)
+	var cursor2 atomic.Int64
+	link := func() {
+		for {
+			if ctx.Err() != nil {
+				break
+			}
+			lo := int(cursor2.Add(1)-1) * parallelChunk
+			if lo >= n {
+				break
+			}
+			hi := min(lo+parallelChunk, n)
+			for i := lo; i < hi; i++ {
+				if !core[i] {
+					continue
+				}
+				for _, j := range neighborhoods[i] {
+					if j < int32(i) && core[j] {
+						dsu.Union(int32(i), j)
 					}
 				}
 			}
-			frontier, next = next, frontier
+		}
+	}
+	runPhase(workers, opt.Helper, link)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Phase 3 (sequential, O(n) with near-flat finds): number the core
+	// sets by ascending minimum core index — precisely Run's formation
+	// order — and label core points.
+	rootID := make([]int32, n)
+	var cid int32
+	for i := 0; i < n; i++ {
+		if !core[i] {
+			continue
+		}
+		r := dsu.Find(int32(i))
+		if rootID[r] == 0 {
+			cid++
+			rootID[r] = cid
+		}
+		res.Labels[i] = rootID[r]
+	}
+
+	// Phase 4: border attachment. A border point joins the lowest-cid
+	// cluster that has a core point within ε — Run's first-absorber — via
+	// an atomic min-reduction over the retained core neighborhoods.
+	attach := make([]atomic.Int32, n)
+	var cursor3 atomic.Int64
+	attachBorders := func() {
+		for {
+			if ctx.Err() != nil {
+				break
+			}
+			lo := int(cursor3.Add(1)-1) * parallelChunk
+			if lo >= n {
+				break
+			}
+			hi := min(lo+parallelChunk, n)
+			for i := lo; i < hi; i++ {
+				if !core[i] {
+					continue
+				}
+				label := res.Labels[i]
+				for _, j := range neighborhoods[i] {
+					if core[j] {
+						continue
+					}
+					for {
+						cur := attach[j].Load()
+						if cur != 0 && cur <= label {
+							break
+						}
+						if attach[j].CompareAndSwap(cur, label) {
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	runPhase(workers, opt.Helper, attachBorders)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	for i := 0; i < n; i++ {
+		if core[i] {
+			continue
+		}
+		if a := attach[i].Load(); a != 0 {
+			res.Labels[i] = a
+		} else {
+			res.Labels[i] = cluster.Noise
 		}
 	}
 	res.NumClusters = int(cid)
 	return res, nil
+}
+
+// runPhase drives body on workers goroutines (the caller's included) plus
+// any donated helpers, returning once every invocation has finished. body
+// must be safe for concurrent invocation and return when the phase's work
+// is exhausted.
+func runPhase(workers int, h Helper, body func()) {
+	var stop func()
+	if h != nil {
+		stop = h.Offer(body)
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body()
+		}()
+	}
+	body()
+	wg.Wait()
+	if stop != nil {
+		stop()
+	}
 }

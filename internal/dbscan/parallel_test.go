@@ -1,9 +1,12 @@
 package dbscan
 
 import (
+	"context"
+	"sync"
 	"testing"
 
 	"vdbscan/internal/cluster"
+	"vdbscan/internal/data"
 	"vdbscan/internal/geom"
 	"vdbscan/internal/metrics"
 )
@@ -15,36 +18,88 @@ func TestRunParallelValidation(t *testing.T) {
 	}
 }
 
-func TestRunParallelMatchesSequential(t *testing.T) {
-	for _, tc := range []struct {
-		name string
-		pts  []geom.Point
-		p    Params
-	}{
-		{"blobs", blobs(4, 200, 100, 30, 0.7, 100), Params{Eps: 0.8, MinPts: 4}},
-		{"dense", blobs(2, 500, 50, 15, 0.4, 101), Params{Eps: 0.4, MinPts: 8}},
-		{"noise-heavy", blobs(1, 100, 500, 25, 0.5, 102), Params{Eps: 1, MinPts: 6}},
-	} {
-		t.Run(tc.name, func(t *testing.T) {
-			ix := BuildIndex(tc.pts, IndexOptions{R: 16})
-			want, err := Run(ix, tc.p, nil)
+// requireIdentical asserts got is byte-identical to want: same cluster
+// count, same labels (including cluster numbering and the noise set).
+func requireIdentical(t *testing.T, got, want *cluster.Result, tag string) {
+	t.Helper()
+	if got.NumClusters != want.NumClusters {
+		t.Fatalf("%s: clusters %d vs %d", tag, got.NumClusters, want.NumClusters)
+	}
+	if len(got.Labels) != len(want.Labels) {
+		t.Fatalf("%s: lengths %d vs %d", tag, len(got.Labels), len(want.Labels))
+	}
+	for i := range got.Labels {
+		if got.Labels[i] != want.Labels[i] {
+			t.Fatalf("%s: label[%d] = %d, want %d", tag, i, got.Labels[i], want.Labels[i])
+		}
+	}
+}
+
+// synthetic builds the property-test datasets from internal/data: uniform
+// (all-noise), clustered (cF and cV classes), and degenerate shapes.
+func synthetic(t *testing.T) map[string][]geom.Point {
+	t.Helper()
+	gen := func(cfg data.SynthConfig) []geom.Point {
+		ds, err := data.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds.Points
+	}
+	dup := make([]geom.Point, 600)
+	for i := range dup {
+		dup[i] = geom.Point{X: 42.5, Y: 17.25}
+	}
+	return map[string][]geom.Point{
+		"uniform":   gen(data.SynthConfig{Class: data.ClassCF, N: 3000, NoiseFrac: 1, Seed: 11}),
+		"clustered": gen(data.SynthConfig{Class: data.ClassCF, N: 4000, NoiseFrac: 0.15, Clusters: 6, Seed: 12}),
+		"skewed":    gen(data.SynthConfig{Class: data.ClassCV, N: 4000, NoiseFrac: 0.05, Clusters: 5, Seed: 13}),
+		"all-dup":   dup,
+		"tiny":      {{X: 1, Y: 1}, {X: 1.1, Y: 1}, {X: 9, Y: 9}},
+		"single":    {{X: 1, Y: 1}},
+		"empty":     nil,
+	}
+}
+
+// TestRunParallelMatchesSequentialExactly is the property test of the
+// intra-variant tentpole: for 1..8 workers, RunParallel must reproduce
+// sequential Run exactly — identical labels, cluster numbering, and noise
+// set — on uniform, clustered, and degenerate datasets.
+func TestRunParallelMatchesSequentialExactly(t *testing.T) {
+	params := []Params{
+		{Eps: 3, MinPts: 4},
+		{Eps: 1.5, MinPts: 8},
+		{Eps: 0.5, MinPts: 1},
+		{Eps: 8, MinPts: 700}, // MinPts > |all-dup| exercises the all-noise path
+	}
+	for name, pts := range synthetic(t) {
+		ix := BuildIndex(pts, IndexOptions{R: 16})
+		for _, p := range params {
+			want, err := Run(ix, p, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, workers := range []int{0, 1, 4, 16} {
-				got, err := RunParallel(ix, tc.p, workers, nil)
+			for workers := 1; workers <= 8; workers++ {
+				got, err := RunParallel(ix, p, workers, nil)
 				if err != nil {
 					t.Fatal(err)
 				}
-				if got.NumClusters != want.NumClusters {
-					t.Errorf("workers=%d: clusters %d vs %d", workers, got.NumClusters, want.NumClusters)
-				}
-				if d := cluster.DisagreementCount(got, want); d > len(tc.pts)/200 {
-					t.Errorf("workers=%d: disagreements = %d", workers, d)
-				}
+				requireIdentical(t, got, want, name+"/"+p.String())
 			}
-		})
+		}
 	}
+}
+
+func TestRunParallelDefaultWorkers(t *testing.T) {
+	pts := blobs(3, 200, 100, 25, 0.6, 100)
+	ix := BuildIndex(pts, IndexOptions{R: 16})
+	p := Params{Eps: 0.8, MinPts: 4}
+	want, _ := Run(ix, p, nil)
+	got, err := RunParallel(ix, p, 0, nil) // 0 → GOMAXPROCS
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, got, want, "gomaxprocs")
 }
 
 func TestRunParallelEmptyAndDegenerate(t *testing.T) {
@@ -61,15 +116,23 @@ func TestRunParallelEmptyAndDegenerate(t *testing.T) {
 }
 
 func TestRunParallelSearchCountMatches(t *testing.T) {
-	// Level-synchronous expansion must still search each point exactly once.
+	// The chunked core-marking pass must still search each point exactly
+	// once, and the per-worker batched flushes must not lose counts.
 	pts := blobs(3, 200, 100, 25, 0.6, 103)
 	ix := BuildIndex(pts, IndexOptions{R: 16})
-	var m metrics.Counters
-	if _, err := RunParallel(ix, Params{Eps: 0.7, MinPts: 4}, 4, &m); err != nil {
+	var mSeq, mPar metrics.Counters
+	if _, err := Run(ix, Params{Eps: 0.7, MinPts: 4}, &mSeq); err != nil {
 		t.Fatal(err)
 	}
-	if got := m.Snapshot().NeighborSearches; got != int64(len(pts)) {
+	if _, err := RunParallel(ix, Params{Eps: 0.7, MinPts: 4}, 4, &mPar); err != nil {
+		t.Fatal(err)
+	}
+	if got := mPar.Snapshot().NeighborSearches; got != int64(len(pts)) {
 		t.Errorf("searches = %d, want %d", got, len(pts))
+	}
+	if mPar.Snapshot() != mSeq.Snapshot() {
+		t.Errorf("work counters diverge: parallel %v vs sequential %v",
+			mPar.Snapshot(), mSeq.Snapshot())
 	}
 }
 
@@ -84,5 +147,61 @@ func TestRunParallelAllLabeled(t *testing.T) {
 		if l == cluster.Unclassified {
 			t.Fatalf("point %d unclassified", i)
 		}
+	}
+}
+
+func TestRunParallelCancellation(t *testing.T) {
+	pts := blobs(4, 500, 200, 30, 0.7, 105)
+	ix := BuildIndex(pts, IndexOptions{R: 16})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunParallelOpts(ctx, ix, Params{Eps: 1, MinPts: 4},
+		ParallelOptions{Workers: 4}, nil); err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunCtxCancellation(t *testing.T) {
+	pts := blobs(4, 500, 200, 30, 0.7, 106)
+	ix := BuildIndex(pts, IndexOptions{R: 16})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, ix, Params{Eps: 1, MinPts: 4}, nil); err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	// A background context run is unaffected.
+	if _, err := RunCtx(context.Background(), ix, Params{Eps: 1, MinPts: 4}, nil); err != nil {
+		t.Errorf("background run failed: %v", err)
+	}
+}
+
+// waitHelper is a test Helper that runs every offered help function on n
+// donor goroutines — the shape internal/sched's donor pool provides.
+type waitHelper struct{ donors int }
+
+func (h *waitHelper) Offer(help func()) (stop func()) {
+	var wg sync.WaitGroup
+	for i := 0; i < h.donors; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			help()
+		}()
+	}
+	return wg.Wait
+}
+
+func TestRunParallelWithHelperMatches(t *testing.T) {
+	pts := blobs(4, 300, 150, 25, 0.6, 107)
+	ix := BuildIndex(pts, IndexOptions{R: 16})
+	p := Params{Eps: 0.8, MinPts: 4}
+	want, _ := Run(ix, p, nil)
+	for _, donors := range []int{1, 3, 7} {
+		got, err := RunParallelOpts(context.Background(), ix, p,
+			ParallelOptions{Workers: 1, Helper: &waitHelper{donors: donors}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, got, want, "helper")
 	}
 }

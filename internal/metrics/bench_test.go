@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+// BenchmarkCountersNilAdd verifies the documented guarantee that increments
+// on a nil *Counters cost only an inlined nil check.
+func BenchmarkCountersNilAdd(b *testing.B) {
+	var c *Counters
+	for i := 0; i < b.N; i++ {
+		c.AddNeighborSearches(1)
+		c.AddCandidatesExamined(64)
+		c.AddNodesVisited(3)
+		c.AddNeighborsFound(12)
+	}
+}
+
+// BenchmarkCountersContention contrasts the two instrumentation styles on a
+// simulated ε-search hot path (4 counter updates per search) with every
+// worker sharing one Counters: per-call atomic RMWs versus a per-worker
+// Local flushed once per 256-search chunk. The batched variant is the one
+// dbscan.RunParallel uses.
+func BenchmarkCountersContention(b *testing.B) {
+	const chunk = 256
+	workers := 8
+	run := func(b *testing.B, search func(c *Counters, l *Local, i int)) {
+		var c Counters
+		var wg sync.WaitGroup
+		per := b.N/workers + 1
+		b.ResetTimer()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var l Local
+				for i := 0; i < per; i++ {
+					search(&c, &l, i)
+					if i%chunk == chunk-1 {
+						l.FlushTo(&c)
+					}
+				}
+				l.FlushTo(&c)
+			}()
+		}
+		wg.Wait()
+	}
+	b.Run("atomic-per-call", func(b *testing.B) {
+		run(b, func(c *Counters, _ *Local, _ int) {
+			c.AddNeighborSearches(1)
+			c.AddCandidatesExamined(64)
+			c.AddNodesVisited(3)
+			c.AddNeighborsFound(12)
+		})
+	})
+	b.Run("local-batched", func(b *testing.B) {
+		run(b, func(_ *Counters, l *Local, _ int) {
+			l.NeighborSearches++
+			l.CandidatesExamined += 64
+			l.NodesVisited += 3
+			l.NeighborsFound += 12
+		})
+	})
+}

@@ -88,3 +88,74 @@ func TestSnapshotString(t *testing.T) {
 		t.Error("String empty")
 	}
 }
+
+func TestLocalFlushTo(t *testing.T) {
+	var c Counters
+	l := Local{NeighborSearches: 3, CandidatesExamined: 40, NeighborsFound: 7,
+		NodesVisited: 5, PointsReused: 2, ClustersReused: 1, ClustersDestroyed: 1}
+	l.FlushTo(&c)
+	want := Snapshot{NeighborSearches: 3, CandidatesExamined: 40, NeighborsFound: 7,
+		NodesVisited: 5, PointsReused: 2, ClustersReused: 1, ClustersDestroyed: 1}
+	if got := c.Snapshot(); got != want {
+		t.Errorf("after flush: %+v, want %+v", got, want)
+	}
+	if l != (Local{}) {
+		t.Errorf("flush did not reset local: %+v", l)
+	}
+	// Second flush of the zeroed local is a no-op.
+	l.FlushTo(&c)
+	if got := c.Snapshot(); got != want {
+		t.Errorf("empty flush changed counters: %+v", got)
+	}
+}
+
+func TestLocalFlushToNil(t *testing.T) {
+	l := Local{NeighborSearches: 9}
+	l.FlushTo(nil)
+	if l != (Local{}) {
+		t.Errorf("flush to nil did not reset local: %+v", l)
+	}
+}
+
+func TestNilCountersAllAddsNoOp(t *testing.T) {
+	// The documented guarantee: every Add* on a nil receiver is a no-op and
+	// must not panic.
+	var c *Counters
+	c.AddNeighborSearches(1)
+	c.AddCandidatesExamined(1)
+	c.AddNeighborsFound(1)
+	c.AddNodesVisited(1)
+	c.AddPointsReused(1)
+	c.AddClustersReused(1)
+	c.AddClustersDestroyed(1)
+	c.Reset()
+	if s := c.Snapshot(); s != (Snapshot{}) {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+}
+
+func TestLocalConcurrentWorkersFlush(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	const workers, per, chunk = 8, 1000, 64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var l Local
+			for i := 0; i < per; i++ {
+				l.NeighborSearches++
+				l.NodesVisited += 2
+				if i%chunk == chunk-1 {
+					l.FlushTo(&c)
+				}
+			}
+			l.FlushTo(&c)
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.NeighborSearches != workers*per || s.NodesVisited != 2*workers*per {
+		t.Errorf("batched totals wrong: %+v", s)
+	}
+}

@@ -15,6 +15,15 @@
 // starts depends on the order and speed of earlier completions. The paper's
 // thread pool maps to T goroutines pulling from a shared queue. Per-variant
 // start/end offsets are recorded to reproduce the Figure 9 makespan plots.
+//
+// Beyond the paper, the pool supports *two-level* scheduling
+// (Options.IntraWorkers / Options.DonateIdle): from-scratch variant
+// executions can run on the intra-variant parallel path
+// (dbscan.RunParallelOpts), and workers left idle once the queue drains —
+// the |V| < T and end-of-run-tail regimes, where the paper's scheme parks
+// cores — donate themselves to the running variants' worker pools. Results
+// are unchanged: the parallel from-scratch path is label-identical to
+// sequential DBSCAN.
 package sched
 
 import (
@@ -99,9 +108,28 @@ type Options struct {
 	// DisableReuse forces every variant to cluster from scratch (the
 	// multithreaded no-reuse baseline of scenario S1).
 	DisableReuse bool
+	// IntraWorkers is the per-variant worker count for from-scratch variant
+	// executions: when set above 1 (or when DonateIdle is on), every
+	// from-scratch DBSCAN uses dbscan.RunParallelOpts instead of the
+	// sequential expansion, so a single variant can use several cores.
+	// Reuse-based executions (EXPANDCLUSTER) are inherently ordered and
+	// remain sequential. 0 or 1 keeps from-scratch runs on one worker
+	// (paper-faithful) unless DonateIdle lends them more.
+	IntraWorkers int
+	// DonateIdle enables two-level scheduling: pool workers that find the
+	// variant queue empty donate themselves to the parallel phases of
+	// still-running variants instead of parking. This removes the idle
+	// cores of the |V| < Threads and end-of-run-tail regimes without
+	// changing any clustering result (the parallel from-scratch path is
+	// label-identical to sequential DBSCAN).
+	DonateIdle bool
 	// Metrics optionally accumulates work counters across all variants.
 	Metrics *metrics.Counters
 }
+
+// intraEnabled reports whether from-scratch executions should take the
+// parallel path.
+func (o Options) intraEnabled() bool { return o.IntraWorkers > 1 || o.DonateIdle }
 
 // VariantResult is the outcome of one variant execution.
 type VariantResult struct {
@@ -329,6 +357,11 @@ func ExecuteContext(ctx context.Context, ix *dbscan.Index, vs []variant.Variant,
 		}
 	}
 
+	var pool *donorPool
+	if opt.DonateIdle {
+		pool = newDonorPool()
+	}
+
 	results := make([]VariantResult, len(vs))
 	var next int
 	var nextMu sync.Mutex
@@ -356,6 +389,12 @@ func ExecuteContext(ctx context.Context, ix *dbscan.Index, vs []variant.Variant,
 			for {
 				v, ok := take()
 				if !ok {
+					// No variant will ever be taken again (queue drained or
+					// ctx canceled): donate this worker to the running
+					// variants' intra-variant pools instead of parking.
+					if pool != nil {
+						pool.donate()
+					}
 					return
 				}
 				vr := VariantResult{Variant: v, Worker: worker, SourceID: -1}
@@ -377,9 +416,45 @@ func ExecuteContext(ctx context.Context, ix *dbscan.Index, vs []variant.Variant,
 						vr.SourceID = e.id
 					}
 				}
-				res, stats, err := core.RunOpts(ix, v.Params, prev,
-					core.Options{Scheme: opt.Scheme, MinSeedSize: opt.MinSeedSize}, opt.Metrics)
+				var res *cluster.Result
+				var stats core.Stats
+				var err error
+				if opt.intraEnabled() && (prev == nil || prev.NumClusters == 0) {
+					// From-scratch execution on the intra-variant parallel
+					// path: label-identical to dbscan.Run, but chunked over
+					// IntraWorkers goroutines plus any donated idle workers.
+					if pool != nil {
+						pool.variantStarted()
+					}
+					w := opt.IntraWorkers
+					if w < 1 {
+						w = 1
+					}
+					popt := dbscan.ParallelOptions{Workers: w}
+					if pool != nil {
+						popt.Helper = pool
+					}
+					res, err = dbscan.RunParallelOpts(ctx, ix, v.Params, popt, opt.Metrics)
+					stats = core.Stats{FromScratch: true}
+					if pool != nil {
+						pool.variantFinished()
+					}
+				} else {
+					if pool != nil {
+						pool.variantStarted()
+					}
+					res, stats, err = core.RunOpts(ix, v.Params, prev,
+						core.Options{Scheme: opt.Scheme, MinSeedSize: opt.MinSeedSize}, opt.Metrics)
+					if pool != nil {
+						pool.variantFinished()
+					}
+				}
 				if err != nil {
+					if ctx.Err() != nil {
+						// Canceled mid-variant (interruptible parallel
+						// path); the post-wait ctx check reports it.
+						return
+					}
 					errs[worker] = fmt.Errorf("variant %v: %w", v, err)
 					return
 				}

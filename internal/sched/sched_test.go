@@ -414,3 +414,139 @@ func TestExecuteContextCancellation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- Two-level scheduling (intra-variant donation) ---
+
+func TestExecuteTwoLevelSingleVariant(t *testing.T) {
+	// |V|=1 < T: the spare workers must donate to the lone variant, and the
+	// result must be label-identical to the sequential execution.
+	ix := testIndex(t)
+	p := dbscan.Params{Eps: 0.8, MinPts: 4}
+	want, err := dbscan.Run(ix, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Execute(ix, variant.New([]dbscan.Params{p}), Options{
+		Threads: 4, DonateIdle: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rr.Results[0].Result
+	if got.NumClusters != want.NumClusters {
+		t.Fatalf("clusters %d vs %d", got.NumClusters, want.NumClusters)
+	}
+	for i := range got.Labels {
+		if got.Labels[i] != want.Labels[i] {
+			t.Fatalf("label[%d] = %d, want %d", i, got.Labels[i], want.Labels[i])
+		}
+	}
+}
+
+func TestExecuteTwoLevelTailSkew(t *testing.T) {
+	// A skewed set: several cheap variants plus one expensive tail variant
+	// (huge ε). With reuse disabled every execution is from scratch; idle
+	// workers must flow into the tail without changing any result.
+	ix := testIndex(t)
+	ps := []dbscan.Params{
+		{Eps: 0.2, MinPts: 8}, {Eps: 0.25, MinPts: 8}, {Eps: 0.3, MinPts: 8},
+		{Eps: 6, MinPts: 4}, // tail: large ε dominates
+	}
+	baseline, err := Execute(ix, variant.New(ps), Options{Threads: 4, DisableReuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	donated, err := Execute(ix, variant.New(ps), Options{
+		Threads: 4, DisableReuse: true, DonateIdle: true, IntraWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vi := range ps {
+		a, b := baseline.Results[vi].Result, donated.Results[vi].Result
+		if a.NumClusters != b.NumClusters {
+			t.Fatalf("variant %d: clusters %d vs %d", vi, a.NumClusters, b.NumClusters)
+		}
+		for i := range a.Labels {
+			if a.Labels[i] != b.Labels[i] {
+				t.Fatalf("variant %d: label[%d] = %d vs %d", vi, i, b.Labels[i], a.Labels[i])
+			}
+		}
+		if !donated.Results[vi].Stats.FromScratch {
+			t.Errorf("variant %d: expected from-scratch", vi)
+		}
+	}
+}
+
+func TestExecuteTwoLevelWithReuse(t *testing.T) {
+	// Reuse-based executions stay on the sequential EXPANDCLUSTER path;
+	// only from-scratch ones go parallel. Per-variant quality against the
+	// non-donated run must be unchanged.
+	ix := testIndex(t)
+	vs := variant.Product([]float64{0.5, 0.7, 0.9}, []int{4, 8})
+	base, err := Execute(ix, vs, Options{Threads: 2, Scheme: reuse.ClusDensity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Execute(ix, vs, Options{
+		Threads: 2, Scheme: reuse.ClusDensity, DonateIdle: true, IntraWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vi := range vs {
+		a, b := base.Results[vi].Result, two.Results[vi].Result
+		// Reuse order can differ between runs (online schedule), so compare
+		// cluster structure, not exact labels.
+		if a.NumClusters != b.NumClusters {
+			t.Errorf("variant %d: clusters %d vs %d", vi, a.NumClusters, b.NumClusters)
+		}
+	}
+}
+
+func TestExecuteTwoLevelCancellation(t *testing.T) {
+	ix := testIndex(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ExecuteContext(ctx, ix, variant.New([]dbscan.Params{{Eps: 0.8, MinPts: 4}}),
+		Options{Threads: 4, DonateIdle: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want canceled", err)
+	}
+}
+
+func TestExecuteIntraWorkersWithoutDonation(t *testing.T) {
+	// IntraWorkers > 1 alone (no donation) must also reproduce sequential
+	// labels on from-scratch executions.
+	ix := testIndex(t)
+	p := dbscan.Params{Eps: 0.8, MinPts: 4}
+	want, _ := dbscan.Run(ix, p, nil)
+	rr, err := Execute(ix, variant.New([]dbscan.Params{p}), Options{
+		Threads: 1, IntraWorkers: 4, DisableReuse: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rr.Results[0].Result
+	for i := range got.Labels {
+		if got.Labels[i] != want.Labels[i] {
+			t.Fatalf("label[%d] = %d, want %d", i, got.Labels[i], want.Labels[i])
+		}
+	}
+}
+
+func TestExecuteTwoLevelManyVariantsFewThreads(t *testing.T) {
+	// |V| > T with donation on: donors only appear at the tail; the run
+	// must complete and every variant must be populated.
+	ix := testIndex(t)
+	vs := variant.Product([]float64{0.4, 0.6, 0.8, 1.0, 1.2}, []int{4, 8})
+	rr, err := Execute(ix, vs, Options{Threads: 3, DisableReuse: true, DonateIdle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vi, r := range rr.Results {
+		if r.Result == nil {
+			t.Fatalf("variant %d has no result", vi)
+		}
+	}
+}

@@ -1,17 +1,11 @@
-// Package unionfind implements DBSCAN via the disjoint-set formulation of
-// Patwary et al. (SC 2012, the paper's reference [14]): instead of
-// breadth-first cluster expansion, core points are unioned with their
-// in-ε core neighbors, and border points attach to one neighboring core
-// point's set. This baseline is order-insensitive for core points, which
-// makes it a useful oracle for the expansion-based implementations, and it
-// is the classical substrate for distributed-memory DBSCAN.
+// Package unionfind provides disjoint-set union structures: the sequential
+// DSU of the Patwary et al. (SC 2012) DBSCAN formulation — the paper's
+// reference [14] — and a lock-free ConcurrentDSU for parallel cluster
+// merging. The package is deliberately dependency-free so both the
+// clustering hot paths (internal/dbscan) and the incremental maintenance
+// layer (internal/incremental) can build on it; the disjoint-set DBSCAN
+// baseline itself lives in internal/dbscan as RunDisjointSet.
 package unionfind
-
-import (
-	"vdbscan/internal/cluster"
-	"vdbscan/internal/dbscan"
-	"vdbscan/internal/metrics"
-)
 
 // DSU is a disjoint-set union structure with union by rank and path
 // compression, exported for reuse in tests and future distributed merges.
@@ -57,80 +51,3 @@ func (d *DSU) Union(a, b int32) bool {
 
 // Same reports whether a and b are in one set.
 func (d *DSU) Same(a, b int32) bool { return d.Find(a) == d.Find(b) }
-
-// Run clusters the index under p using the disjoint-set formulation.
-// m may be nil. Labels are in the index's sorted space.
-//
-// Core-point cluster structure is identical to expansion-based DBSCAN;
-// border points reachable from several clusters attach to the one whose
-// core point is scanned first (the same ambiguity every DBSCAN has).
-func Run(ix *dbscan.Index, p dbscan.Params, m *metrics.Counters) (*cluster.Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	n := ix.Len()
-	res := cluster.NewResult(n)
-	core := make([]bool, n)
-	neighborhoods := make([][]int32, n)
-
-	// Pass 1: one ε-search per point determines core status. Neighborhoods
-	// of core points are retained for the union pass.
-	var scratch []int32
-	for i := 0; i < n; i++ {
-		scratch = ix.NeighborSearch(ix.Pts[i], p.Eps, m, scratch[:0])
-		if len(scratch) >= p.MinPts {
-			core[i] = true
-			neighborhoods[i] = append([]int32(nil), scratch...)
-		}
-	}
-
-	// Pass 2: union every core point with its core neighbors.
-	dsu := NewDSU(n)
-	for i := 0; i < n; i++ {
-		if !core[i] {
-			continue
-		}
-		for _, j := range neighborhoods[i] {
-			if core[j] {
-				dsu.Union(int32(i), j)
-			}
-		}
-	}
-
-	// Pass 3: label core sets with cluster IDs.
-	ids := map[int32]int32{}
-	var cid int32
-	for i := 0; i < n; i++ {
-		if !core[i] {
-			continue
-		}
-		root := dsu.Find(int32(i))
-		id, ok := ids[root]
-		if !ok {
-			cid++
-			id = cid
-			ids[root] = id
-		}
-		res.Labels[i] = id
-	}
-
-	// Pass 4: attach border points to the first scanning core neighbor;
-	// everything else is noise.
-	for i := 0; i < n; i++ {
-		if !core[i] {
-			res.Labels[i] = cluster.Noise
-		}
-	}
-	for i := 0; i < n; i++ {
-		if !core[i] {
-			continue
-		}
-		for _, j := range neighborhoods[i] {
-			if res.Labels[j] == cluster.Noise {
-				res.Labels[j] = res.Labels[i]
-			}
-		}
-	}
-	res.NumClusters = int(cid)
-	return res, nil
-}

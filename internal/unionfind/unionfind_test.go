@@ -1,32 +1,9 @@
 package unionfind
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
-
-	"vdbscan/internal/cluster"
-	"vdbscan/internal/dbscan"
-	"vdbscan/internal/geom"
 )
-
-func blobs(k, m, noise int, extent, sigma float64, seed int64) []geom.Point {
-	rnd := rand.New(rand.NewSource(seed))
-	pts := make([]geom.Point, 0, k*m+noise)
-	for c := 0; c < k; c++ {
-		cx, cy := rnd.Float64()*extent, rnd.Float64()*extent
-		for i := 0; i < m; i++ {
-			pts = append(pts, geom.Point{
-				X: cx + rnd.NormFloat64()*sigma,
-				Y: cy + rnd.NormFloat64()*sigma,
-			})
-		}
-	}
-	for i := 0; i < noise; i++ {
-		pts = append(pts, geom.Point{X: rnd.Float64() * extent, Y: rnd.Float64() * extent})
-	}
-	return pts
-}
 
 func TestDSUBasics(t *testing.T) {
 	d := NewDSU(5)
@@ -77,96 +54,5 @@ func TestDSUUnionIsEquivalenceRelation(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
-	}
-}
-
-func TestRunValidation(t *testing.T) {
-	ix := dbscan.BuildIndex(blobs(1, 20, 0, 10, 0.5, 1), dbscan.IndexOptions{})
-	if _, err := Run(ix, dbscan.Params{Eps: 0, MinPts: 4}, nil); err == nil {
-		t.Error("eps=0 accepted")
-	}
-}
-
-func TestRunMatchesExpansionDBSCAN(t *testing.T) {
-	for _, tc := range []struct {
-		name string
-		pts  []geom.Point
-		p    dbscan.Params
-	}{
-		{"blobs", blobs(4, 150, 100, 25, 0.6, 2), dbscan.Params{Eps: 0.7, MinPts: 4}},
-		{"dense", blobs(2, 300, 30, 15, 0.4, 3), dbscan.Params{Eps: 0.4, MinPts: 8}},
-		{"sparse-noise", blobs(0, 0, 400, 20, 1, 4), dbscan.Params{Eps: 1.5, MinPts: 4}},
-		{"high-minpts", blobs(3, 200, 0, 25, 0.6, 5), dbscan.Params{Eps: 0.8, MinPts: 32}},
-	} {
-		t.Run(tc.name, func(t *testing.T) {
-			ix := dbscan.BuildIndex(tc.pts, dbscan.IndexOptions{R: 16})
-			got, err := Run(ix, tc.p, nil)
-			if err != nil {
-				t.Fatal(err)
-			}
-			want, err := dbscan.Run(ix, tc.p, nil)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if got.NumClusters != want.NumClusters {
-				t.Errorf("clusters: unionfind %d vs expansion %d", got.NumClusters, want.NumClusters)
-			}
-			// Core structure identical; only border ties may differ.
-			if d := cluster.DisagreementCount(got, want); d > len(tc.pts)/100 {
-				t.Errorf("disagreements = %d", d)
-			}
-		})
-	}
-}
-
-func TestRunEveryPointLabeled(t *testing.T) {
-	pts := blobs(3, 100, 100, 20, 0.6, 6)
-	ix := dbscan.BuildIndex(pts, dbscan.IndexOptions{R: 8})
-	res, err := Run(ix, dbscan.Params{Eps: 0.7, MinPts: 4}, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i, l := range res.Labels {
-		if l == cluster.Unclassified {
-			t.Fatalf("point %d unclassified", i)
-		}
-	}
-}
-
-func TestRunEmpty(t *testing.T) {
-	ix := dbscan.BuildIndex(nil, dbscan.IndexOptions{})
-	res, err := Run(ix, dbscan.Params{Eps: 1, MinPts: 4}, nil)
-	if err != nil || res.Len() != 0 {
-		t.Fatalf("empty: %v %v", res, err)
-	}
-}
-
-func TestRunCoreInvariantToOrder(t *testing.T) {
-	// The disjoint-set formulation is order-insensitive on core points:
-	// reversing the input must give the same partition of core points.
-	pts := blobs(3, 150, 80, 20, 0.6, 7)
-	p := dbscan.Params{Eps: 0.7, MinPts: 4}
-	ixA := dbscan.BuildIndex(pts, dbscan.IndexOptions{R: 8})
-	a, _ := Run(ixA, p, nil)
-	aOrig := a.Remap(ixA.Fwd)
-
-	rev := make([]geom.Point, len(pts))
-	for i, pt := range pts {
-		rev[len(pts)-1-i] = pt
-	}
-	ixB := dbscan.BuildIndex(rev, dbscan.IndexOptions{R: 8})
-	b, _ := Run(ixB, p, nil)
-	bRev := b.Remap(ixB.Fwd)
-	// Un-reverse to original order.
-	bOrig := cluster.NewResult(len(pts))
-	bOrig.NumClusters = bRev.NumClusters
-	for i := range pts {
-		bOrig.Labels[i] = bRev.Labels[len(pts)-1-i]
-	}
-	if aOrig.NumClusters != bOrig.NumClusters {
-		t.Fatalf("cluster count depends on order: %d vs %d", aOrig.NumClusters, bOrig.NumClusters)
-	}
-	if d := cluster.DisagreementCount(aOrig, bOrig); d > len(pts)/100 {
-		t.Errorf("order-dependence beyond border ties: %d", d)
 	}
 }

@@ -103,6 +103,7 @@ type config struct {
 	r            int
 	binWidth     float64
 	threads      int
+	intraThreads int
 	scheme       ReuseScheme
 	strategy     SchedStrategy
 	minSeedSize  int
@@ -136,8 +137,25 @@ func WithR(r int) Option { return func(c *config) { c.r = r } }
 func WithBinWidth(w float64) Option { return func(c *config) { c.binWidth = w } }
 
 // WithThreads sets the number of worker goroutines T executing variants
-// concurrently (default 1).
+// concurrently (default 1). Above 1 it also enables two-level scheduling in
+// ClusterVariants — workers left idle once the variant queue drains are
+// donated to the running variants' intra-variant pools — and sets the auto
+// intra-variant width for single-variant Cluster calls, so WithThreads(8)
+// uses 8 cores whether you cluster one variant or eighty.
 func WithThreads(t int) Option { return func(c *config) { c.threads = t } }
+
+// WithIntraThreads sets the number of goroutines working *inside* one
+// DBSCAN execution (intra-variant parallelism: chunked core-point marking
+// plus disjoint-set cluster merging, label-identical to the sequential
+// algorithm). It applies to Cluster and to ClusterVariants' from-scratch
+// executions; reuse-based executions are inherently ordered and stay
+// sequential. 0 (the default) selects auto mode: Cluster falls back to
+// WithThreads' value, ClusterVariants gives each from-scratch execution one
+// worker plus whatever idle pool workers are donated. Set 1 to force the
+// paper-faithful sequential execution everywhere. Note that
+// WithThreads(T) × WithIntraThreads(n) can oversubscribe T·n goroutines;
+// that is the caller's trade to make.
+func WithIntraThreads(n int) Option { return func(c *config) { c.intraThreads = n } }
 
 // WithReuseScheme selects the cluster-reuse prioritization
 // (default ClusDensity).
@@ -198,11 +216,23 @@ func (x *Index) R() int { return x.ix.R() }
 func (x *Index) Points() []Point { return x.pts }
 
 // Cluster runs a single DBSCAN variant and returns labels in the caller's
-// point order.
+// point order. It honors WithContext (cancellation is checked coarsely,
+// every ~1k points) and parallelizes across WithIntraThreads — or, in auto
+// mode, WithThreads — goroutines; the result is identical at any width.
 func (x *Index) Cluster(p Params, opts ...Option) (*Clustering, error) {
 	c := buildConfig(opts)
+	width := c.intraThreads
+	if width == 0 {
+		width = c.threads // auto: a single variant may use the whole pool
+	}
 	var m metrics.Counters
-	res, err := dbscan.Run(x.ix, p, &m)
+	var res *cluster.Result
+	var err error
+	if width > 1 {
+		res, err = dbscan.RunParallelOpts(c.ctx, x.ix, p, dbscan.ParallelOptions{Workers: width}, &m)
+	} else {
+		res, err = dbscan.RunCtx(c.ctx, x.ix, p, &m)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -276,6 +306,8 @@ func (x *Index) ClusterVariants(params []Params, opts ...Option) (*VariantRun, e
 		Scheme:       c.scheme,
 		MinSeedSize:  c.minSeedSize,
 		DisableReuse: c.disableReuse,
+		IntraWorkers: c.intraThreads,
+		DonateIdle:   c.threads > 1 || c.intraThreads > 1,
 		Metrics:      &m,
 	})
 	if err != nil {

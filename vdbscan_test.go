@@ -391,3 +391,88 @@ func TestIncrementalAPI(t *testing.T) {
 		t.Errorf("incremental vs batch quality = %g", q)
 	}
 }
+
+func TestClusterIntraThreadsMatchesSequential(t *testing.T) {
+	pts := testPoints(t, 8000)
+	idx := NewIndex(pts)
+	p := Params{Eps: 3, MinPts: 4}
+	seq, err := idx.Cluster(p) // default: sequential
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		par, err := idx.Cluster(p, WithIntraThreads(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.NumClusters != seq.NumClusters {
+			t.Fatalf("intra=%d: clusters %d != %d", n, par.NumClusters, seq.NumClusters)
+		}
+		for i := range seq.Labels {
+			if par.Labels[i] != seq.Labels[i] {
+				t.Fatalf("intra=%d: label[%d] = %d, want %d", n, i, par.Labels[i], seq.Labels[i])
+			}
+		}
+		q, err := Quality(seq, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q != 1.0 {
+			t.Fatalf("intra=%d: quality = %g, want 1.0", n, q)
+		}
+	}
+	// Auto mode: WithThreads widens single-variant Cluster too.
+	auto, err := idx.Cluster(p, WithThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q, _ := Quality(seq, auto); q != 1.0 {
+		t.Fatalf("auto width: quality = %g, want 1.0", q)
+	}
+}
+
+func TestClusterHonorsContextCancellation(t *testing.T) {
+	pts := testPoints(t, 5000)
+	idx := NewIndex(pts)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := Params{Eps: 3, MinPts: 4}
+	if _, err := idx.Cluster(p, WithContext(ctx)); err != context.Canceled {
+		t.Fatalf("sequential: err = %v, want context.Canceled", err)
+	}
+	if _, err := idx.Cluster(p, WithContext(ctx), WithIntraThreads(4)); err != context.Canceled {
+		t.Fatalf("parallel: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestClusterVariantsTwoLevel(t *testing.T) {
+	pts := testPoints(t, 5000)
+	idx := NewIndex(pts)
+	params := CartesianVariants([]float64{2, 3, 4}, []int{4, 8})
+	base, err := idx.ClusterVariants(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range [][]Option{
+		{WithThreads(4)},                                      // donation-only two-level
+		{WithThreads(2), WithIntraThreads(2)},                 // explicit width
+		{WithThreads(4), WithIntraThreads(2), WithoutReuse()}, // all from scratch
+	} {
+		run, err := idx.ClusterVariants(params, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(run.Results) != len(params) {
+			t.Fatalf("results = %d, want %d", len(run.Results), len(params))
+		}
+		for i, vr := range run.Results {
+			q, err := Quality(base.Results[i].Clustering, vr.Clustering)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q < 0.998 {
+				t.Fatalf("variant %d (%+v): quality = %g", i, vr.Params, q)
+			}
+		}
+	}
+}
