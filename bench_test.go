@@ -701,8 +701,9 @@ func BenchmarkAblationApproxDBSCAN(b *testing.B) {
 // The big fixture exists so BenchmarkRunParallel has enough work per phase
 // for the chunk cursor and per-worker metric batching to matter.
 var (
-	fixBigOnce sync.Once
-	fixBigIx   *dbscan.Index
+	fixBigOnce  sync.Once
+	fixBigIx    *dbscan.Index
+	fixBigPtrIx *dbscan.Index // same fixture, pointer-tree searches (NoFlat)
 )
 
 func bigFixture(b *testing.B) *dbscan.Index {
@@ -715,6 +716,7 @@ func bigFixture(b *testing.B) *dbscan.Index {
 			panic(err)
 		}
 		fixBigIx = dbscan.BuildIndex(ds.Points, dbscan.IndexOptions{R: 70})
+		fixBigPtrIx = dbscan.BuildIndex(ds.Points, dbscan.IndexOptions{R: 70, NoFlat: true})
 	})
 	return fixBigIx
 }
@@ -749,6 +751,36 @@ func BenchmarkRunParallel(b *testing.B) {
 			}
 			reportWork(b, m.Snapshot(), b.N)
 		})
+	}
+}
+
+// BenchmarkIndexLayout compares the flat (frozen SoA) and pointer index
+// layouts on the 100k BenchmarkRunParallel fixture — the index-layout
+// tentpole's headline measurement. Both produce byte-identical labels;
+// only memory behavior of the ε-search differs.
+func BenchmarkIndexLayout(b *testing.B) {
+	bigFixture(b)
+	p := dbscan.Params{Eps: 1, MinPts: 4}
+	for _, cfg := range []struct {
+		name string
+		ix   *dbscan.Index
+	}{{"flat", fixBigIx}, {"pointer", fixBigPtrIx}} {
+		b.Run(cfg.name+"/sequential", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dbscan.Run(cfg.ix, p, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, w := range []int{4, 8} {
+			b.Run(fmt.Sprintf("%s/workers%d", cfg.name, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := dbscan.RunParallel(cfg.ix, p, w, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

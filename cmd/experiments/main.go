@@ -4,16 +4,23 @@
 //
 //	experiments [-exp all|table1|table2|table3|table4|fig4|fig5|fig6|fig7|fig8|fig9]
 //	            [-scale 0.01] [-threads 16] [-r 70] [-seed N]
+//	            [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -scale multiplies every dataset's |D| (1 reproduces the paper's sizes; the
 // default 0.01 keeps a laptop run in minutes). ε values are automatically
 // multiplied by 1/√scale to compensate for the density drop.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the selected
+// experiments, so index-layout and allocation behavior can be inspected
+// (`go tool pprof cpu.out`) without editing harness code.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -27,11 +34,29 @@ func main() {
 	r := flag.Int("r", 70, "epsilon-search tree leaf occupancy (points per MBB)")
 	seed := flag.Uint64("seed", 0xDB5CA7, "dataset generation seed")
 	trials := flag.Int("trials", 1, "repetitions averaged per timed measurement (paper: 3)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	flag.Parse()
 
 	if *scale <= 0 || *scale > 1 {
 		fmt.Fprintln(os.Stderr, "experiments: -scale must be in (0,1]")
 		os.Exit(2)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer writeHeapProfile(*memProfile)
 	}
 	s := bench.NewSuite(*scale, os.Stdout)
 	s.Threads = *threads
@@ -46,7 +71,29 @@ func main() {
 	start := time.Now()
 	if err := s.Run(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		// Flush the profiles before exiting so a failed experiment still
+		// leaves them inspectable (os.Exit skips deferred writers).
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memProfile != "" {
+			writeHeapProfile(*memProfile)
+		}
 		os.Exit(1)
 	}
 	fmt.Printf("\ncompleted %q in %s\n", *exp, time.Since(start).Round(time.Millisecond))
+}
+
+// writeHeapProfile snapshots the live heap into path.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // settle live heap before the snapshot
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+	}
 }

@@ -27,7 +27,11 @@ func (s *Suite) Ablations() error {
 
 	// 1. Two-tree vs single-tree cluster sweeps.
 	ix := s.index(ds, s.R)
-	single := &dbscan.Index{Pts: ix.Pts, Fwd: ix.Fwd, TLow: ix.TLow, THigh: ix.TLow}
+	single := &dbscan.Index{
+		Pts: ix.Pts, X: ix.X, Y: ix.Y, Fwd: ix.Fwd,
+		TLow: ix.TLow, THigh: ix.TLow,
+		FlatLow: ix.FlatLow, FlatHigh: ix.FlatLow,
+	}
 	for _, cfg := range []struct {
 		name string
 		ix   *dbscan.Index
@@ -38,6 +42,21 @@ func (s *Suite) Ablations() error {
 		}
 		t.add("tree-design", cfg.name, seconds(time.Since(start)),
 			"T_high sweeps vs low-res sweeps")
+	}
+
+	// 1b. Index layout: frozen flat arrays vs pointer-chasing tree. Same
+	// trees, same output; only the traversal memory behavior differs.
+	pointerIx := dbscan.BuildIndex(ds.Points, dbscan.IndexOptions{R: s.R, NoFlat: true})
+	for _, cfg := range []struct {
+		name string
+		ix   *dbscan.Index
+	}{{"flat", ix}, {"pointer", pointerIx}} {
+		start := time.Now()
+		if _, err := sched.Execute(cfg.ix, vs, sched.Options{Threads: 1, Scheme: reuse.ClusDensity}); err != nil {
+			return err
+		}
+		t.add("index-layout", cfg.name, seconds(time.Since(start)),
+			"SoA node arrays + iterative search vs heap nodes")
 	}
 
 	// 2. Bulk load vs dynamic insertion.

@@ -24,7 +24,6 @@ import (
 	"vdbscan/internal/dbscan"
 	"vdbscan/internal/metrics"
 	"vdbscan/internal/reuse"
-	"vdbscan/internal/rtree"
 	"vdbscan/internal/variant"
 )
 
@@ -113,13 +112,9 @@ func RunOpts(ix *dbscan.Index, p dbscan.Params, prev *cluster.Result, opt Option
 		// Lines 10-12: ε-augmented MBB around the cluster, swept over the
 		// high-resolution tree; candidates not in C are the outside points.
 		mbb := infos[sid-1].MBB.Expand(p.Eps)
-		cbuf = cbuf[:0]
-		nodes := ix.THigh.Search(mbb, func(lr rtree.LeafRange) {
-			for k := 0; k < lr.Count; k++ {
-				cbuf = append(cbuf, int32(lr.Start+k))
-			}
-		})
-		m.AddNodesVisited(int64(nodes))
+		var nodes int64
+		cbuf, nodes = ix.HighCandidates(mbb, cbuf[:0])
+		m.AddNodesVisited(nodes)
 		m.AddCandidatesExamined(int64(len(cbuf)))
 
 		// Lines 13-16: ε-search each outside point; its neighbors inside C
@@ -141,8 +136,10 @@ func RunOpts(ix *dbscan.Index, p dbscan.Params, prev *cluster.Result, opt Option
 			}
 		}
 
-		// Line 17: EXPANDCLUSTER (Algorithm 4).
-		nbuf = expandCluster(ix, p, res, visited, destroyed, prev, cid, sid, frontier, nbuf, m, &stats)
+		// Line 17: EXPANDCLUSTER (Algorithm 4). Both buffers come back so
+		// queue growth inside the expansion is amortized across seeds
+		// instead of re-grown from the stale frontier capacity each time.
+		frontier, nbuf = expandCluster(ix, p, res, visited, destroyed, prev, cid, sid, frontier, nbuf, m, &stats)
 	}
 
 	// Line 18: cluster the remainder with DBSCAN over unvisited points.
@@ -191,13 +188,14 @@ func RunOpts(ix *dbscan.Index, p dbscan.Params, prev *cluster.Result, opt Option
 
 // expandCluster is Algorithm 4: BFS expansion of cluster cid from the edge
 // frontier, absorbing density-reachable points and recording destroyed old
-// clusters. It returns the scratch buffer for reuse.
+// clusters. It returns the (possibly re-grown) queue and scratch buffers so
+// the caller amortizes them across every seed cluster of the variant.
 func expandCluster(
 	ix *dbscan.Index, p dbscan.Params, res *cluster.Result,
 	visited []bool, destroyed []bool, prev *cluster.Result,
 	cid int32, seedID int32, frontier []int32, scratch []int32,
 	m *metrics.Counters, stats *Stats,
-) []int32 {
+) (queueBuf, scratchBuf []int32) {
 	queue := frontier // take ownership; caller resets
 	// Frontier points are cluster edge points whose visited flag was
 	// cleared (Algorithm 3, line 16); mark them visited now so each is
@@ -229,7 +227,7 @@ func expandCluster(
 			}
 		}
 	}
-	return scratch
+	return queue, scratch
 }
 
 // ChooseSource picks, among completed variants, the reuse source for p with

@@ -39,12 +39,22 @@ type Index struct {
 	// Pts is the grid-sorted point array; all clustering runs in this
 	// index space.
 	Pts []geom.Point
+	// X and Y are struct-of-arrays copies of Pts, shared by the flat
+	// trees so the ε distance filter scans contiguous float64 slices.
+	// Nil when the flat representation is disabled.
+	X, Y []float64
 	// Fwd maps sorted index -> original index (Fwd[sorted] = original).
 	Fwd []int
 	// TLow is the low-resolution ε-search tree (r points per MBB).
 	TLow *rtree.Tree
 	// THigh is the high-resolution tree (one point per MBB).
 	THigh *rtree.Tree
+	// FlatLow and FlatHigh are the frozen array-backed views of TLow and
+	// THigh (rtree.Flat). When non-nil — the default — every search goes
+	// through them; the pointer trees remain the build/mutate path and
+	// the fallback when flat indexing is disabled.
+	FlatLow  *rtree.Flat
+	FlatHigh *rtree.Flat
 }
 
 // IndexOptions configures BuildIndex.
@@ -58,6 +68,10 @@ type IndexOptions struct {
 	// SkipHigh omits T_high construction for callers that only run plain
 	// DBSCAN (saves |D| leaf MBBs of memory).
 	SkipHigh bool
+	// NoFlat skips the Compact freeze step and leaves searches on the
+	// pointer-based trees (the pre-flat layout, kept for ablations and
+	// as the vdbscan.WithFlatIndex(false) escape hatch).
+	NoFlat bool
 }
 
 func (o IndexOptions) withDefaults() IndexOptions {
@@ -83,7 +97,28 @@ func BuildIndex(pts []geom.Point, opt IndexOptions) *Index {
 	if !opt.SkipHigh {
 		ix.THigh = rtree.BulkLoad(sorted, rtree.Options{R: 1, Fanout: opt.Fanout})
 	}
+	if !opt.NoFlat {
+		ix.Freeze()
+	}
 	return ix
+}
+
+// Freeze builds the flat array-backed views of the trees (one shared
+// pair of SoA coordinate slices, then a Compact per tree). BuildIndex
+// calls it unless IndexOptions.NoFlat; callers that assemble an Index by
+// hand (ablations, incremental re-indexing) may call it themselves.
+func (ix *Index) Freeze() {
+	if ix.X == nil {
+		ix.X = make([]float64, len(ix.Pts))
+		ix.Y = make([]float64, len(ix.Pts))
+		for i, p := range ix.Pts {
+			ix.X[i], ix.Y[i] = p.X, p.Y
+		}
+	}
+	ix.FlatLow = ix.TLow.CompactWithCoords(ix.X, ix.Y)
+	if ix.THigh != nil {
+		ix.FlatHigh = ix.THigh.CompactWithCoords(ix.X, ix.Y)
+	}
 }
 
 // Len returns the number of indexed points.
@@ -122,8 +157,15 @@ func (ix *Index) NeighborSearchLocal(p geom.Point, eps float64, l *metrics.Local
 }
 
 // neighborSearch is the uninstrumented Algorithm 2 body shared by the two
-// counter flavors.
+// counter flavors. The flat path is allocation-free in steady state (the
+// traversal stack is a fixed local array inside rtree.Flat, dst amortizes
+// across calls); the pointer path remains as the NoFlat fallback and
+// produces byte-identical output.
 func (ix *Index) neighborSearch(p geom.Point, eps float64, dst []int32) (out []int32, candidates, nodes int64) {
+	if ix.FlatLow != nil {
+		out, c, n := ix.FlatLow.EpsSearch(p, eps, dst)
+		return out, int64(c), int64(n)
+	}
 	q := geom.QueryMBB(p, eps)
 	epsSq := eps * eps
 	n := ix.TLow.Search(q, func(lr rtree.LeafRange) {
@@ -136,6 +178,23 @@ func (ix *Index) neighborSearch(p geom.Point, eps float64, dst []int32) (out []i
 		}
 	})
 	return dst, candidates, int64(n)
+}
+
+// HighCandidates appends to dst the indices of all points in T_high leaf
+// entries overlapping q and returns dst plus the nodes touched — the
+// cluster-MBB sweep of VariantDBSCAN (Algorithm 3, line 11). It routes
+// through the flat tree when available.
+func (ix *Index) HighCandidates(q geom.MBB, dst []int32) (out []int32, nodes int64) {
+	if ix.FlatHigh != nil {
+		out, n := ix.FlatHigh.SearchCandidates(q, dst)
+		return out, int64(n)
+	}
+	n := ix.THigh.Search(q, func(lr rtree.LeafRange) {
+		for k := 0; k < lr.Count; k++ {
+			dst = append(dst, int32(lr.Start+k))
+		}
+	})
+	return dst, int64(n)
 }
 
 // Params are the two DBSCAN inputs that define a variant.

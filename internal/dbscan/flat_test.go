@@ -1,0 +1,109 @@
+package dbscan
+
+import (
+	"testing"
+
+	"vdbscan/internal/data"
+	"vdbscan/internal/geom"
+	"vdbscan/internal/metrics"
+)
+
+// TestFlatIndexMatchesPointerExactly is the property test of the flat-index
+// tentpole: with the trees frozen into the array-backed layout (the
+// default), both sequential Run and RunParallel at 1..8 workers must
+// reproduce the pointer-tree clustering byte-identically — same labels,
+// cluster numbering, noise set — and the work counters (searches,
+// candidates, nodes visited) must agree exactly, since the flat traversal
+// touches the same logical nodes and leaf runs.
+func TestFlatIndexMatchesPointerExactly(t *testing.T) {
+	params := []Params{
+		{Eps: 3, MinPts: 4},
+		{Eps: 1.5, MinPts: 8},
+		{Eps: 0.5, MinPts: 1},
+	}
+	for name, pts := range synthetic(t) {
+		ptrIx := BuildIndex(pts, IndexOptions{R: 16, NoFlat: true})
+		flatIx := BuildIndex(pts, IndexOptions{R: 16})
+		if flatIx.FlatLow == nil || ptrIx.FlatLow != nil {
+			t.Fatalf("%s: flat default not honored (flat=%v ptr=%v)", name, flatIx.FlatLow, ptrIx.FlatLow)
+		}
+		for _, p := range params {
+			var mp, mf metrics.Counters
+			want, err := Run(ptrIx, p, &mp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Run(flatIx, p, &mf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdentical(t, got, want, name+"/sequential")
+			if sp, sf := mp.Snapshot(), mf.Snapshot(); sp != sf {
+				t.Fatalf("%s %v: work counters differ\npointer: %+v\nflat:    %+v", name, p, sp, sf)
+			}
+			for workers := 1; workers <= 8; workers++ {
+				got, err := RunParallel(flatIx, p, workers, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireIdentical(t, got, want, name+"/parallel")
+			}
+		}
+	}
+}
+
+// TestHighCandidatesMatchesPointer checks the cluster-MBB sweep helper
+// used by VariantDBSCAN's reuse pass on both index layouts.
+func TestHighCandidatesMatchesPointer(t *testing.T) {
+	ds, err := data.Generate(data.SynthConfig{Class: data.ClassCF, N: 2000, NoiseFrac: 0.2, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptrIx := BuildIndex(ds.Points, IndexOptions{R: 16, NoFlat: true})
+	flatIx := BuildIndex(ds.Points, IndexOptions{R: 16})
+	boxes := []geom.MBB{
+		{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10},
+		{MinX: -5, MinY: -5, MaxX: 200, MaxY: 200},
+		{MinX: 40, MinY: 40, MaxX: 41, MaxY: 41},
+		geom.EmptyMBB(),
+	}
+	for _, q := range boxes {
+		want, wantNodes := ptrIx.HighCandidates(q, nil)
+		got, gotNodes := flatIx.HighCandidates(q, nil)
+		if gotNodes != wantNodes {
+			t.Fatalf("%v: nodes %d vs %d", q, gotNodes, wantNodes)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d candidates vs %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%v: candidate %d is %d, want %d", q, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestNeighborSearchLocalZeroAlloc asserts the paper-critical hot path —
+// NeighborSearchLocal over the flat index with a warmed destination buffer
+// and a per-worker metrics.Local — runs without heap allocation.
+func TestNeighborSearchLocalZeroAlloc(t *testing.T) {
+	ds, err := data.Generate(data.SynthConfig{Class: data.ClassCF, N: 20_000, NoiseFrac: 0.15, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := BuildIndex(ds.Points, IndexOptions{R: 70})
+	var local metrics.Local
+	dst := make([]int32, 0, 4096)
+	for i := 0; i < len(ix.Pts); i += 37 { // warm dst to its high-water mark
+		dst = ix.NeighborSearchLocal(ix.Pts[i], 2, &local, dst[:0])
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		dst = ix.NeighborSearchLocal(ix.Pts[i%len(ix.Pts)], 2, &local, dst[:0])
+		i += 41
+	})
+	if allocs != 0 {
+		t.Fatalf("NeighborSearchLocal allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,393 @@
+package rtree
+
+import (
+	"fmt"
+	"sync"
+
+	"vdbscan/internal/geom"
+)
+
+// flatLocalStack is the traversal stack capacity that searches keep in a
+// stack-allocated array. A tree needs height·(fanout−1)+1 slots in the
+// worst case; 128 covers the default fanout 16 up to height 9 (≈ 16⁸ leaf
+// entries, far beyond anything that fits in memory). The array is kept
+// small because Go zero-initializes it on every call — at 128·4 B the
+// memclr is noise, while a generous stack would tax every ε-search.
+// Deeper/wider configurations fall back to a pooled heap stack sized
+// exactly at freeze time.
+const flatLocalStack = 128
+
+// Flat is the frozen, cache-friendly representation of a Tree, produced
+// by Compact.
+//
+// The pointer tree (rtree.go) is the build/mutate path: Guttman inserts,
+// deletes, and bulk loading all operate on heap-allocated nodes. Every
+// traversal of that structure chases node pointers and runs a visit
+// closure per query — costs that the paper's memory-bound ε-search
+// argument (§IV) says dominate 2-D DBSCAN. Compact linearizes the tree
+// once into contiguous arrays so that steady-state searches
+//
+//   - touch only a handful of flat slices (struct-of-arrays MBBs,
+//     int32 child/leaf offsets) laid out in BFS order, parent levels
+//     before children, so a root-to-leaf walk moves forward in memory;
+//   - traverse iteratively with an explicit stack — no recursion, no
+//     per-node heap objects, no closure on the hot path; and
+//   - allocate nothing: the traversal stack lives in a fixed-size local
+//     array (spilling to a sync.Pool only for trees deeper than any
+//     realistic configuration), and result buffers are caller-provided.
+//
+// This mirrors the linearized layouts of Wang/Gu/Shun (SIGMOD 2020) and
+// Prokopenko et al. (ArborX) that make tree-based ε-search fast in
+// practice. A Flat is immutable and safe for unlimited concurrent
+// searches; incremental callers keep mutating the pointer tree and
+// re-Compact when they need a fresh frozen view. All slices are
+// struct-of-arrays: entry i's MBB is
+// (entMinX[i], entMinY[i])–(entMaxX[i], entMaxY[i]).
+type Flat struct {
+	pts []geom.Point
+	// ptX/ptY are SoA copies of the point coordinates, so the ε distance
+	// filter scans two contiguous float64 slices instead of striding
+	// through []geom.Point. They may be shared across trees built over
+	// the same point array (CompactWithCoords).
+	ptX, ptY []float64
+
+	// Entry arrays, indexed by a global entry id. A node owns the
+	// contiguous entry range [nodeEnt[n], nodeEnt[n+1]).
+	entMinX, entMinY, entMaxX, entMaxY []float64
+	// entRef is the child node id for interior entries, or the start
+	// offset into the point array for leaf entries.
+	entRef []int32
+	// entCnt is the leaf entry's point count (unused, zero, for interior
+	// entries).
+	entCnt []int32
+
+	// nodeEnt is the prefix array of entry ranges, len numNodes+1. Nodes
+	// are numbered in BFS order with the root at 0; because every leaf
+	// sits at the same depth, all leaves occupy the id range
+	// [firstLeaf, numNodes).
+	nodeEnt   []int32
+	firstLeaf int32
+
+	height, r, fanout, size int
+
+	// maxStack is the exact worst-case traversal stack size for this
+	// tree; stackPool is only initialized when it exceeds flatLocalStack.
+	maxStack  int
+	stackPool *sync.Pool
+}
+
+// Compact freezes the tree into a Flat. The Flat shares the tree's point
+// array but copies all structure; the tree may keep mutating afterwards
+// (call Compact again for a fresh frozen view).
+func (t *Tree) Compact() *Flat {
+	return t.CompactWithCoords(nil, nil)
+}
+
+// CompactWithCoords is Compact with caller-provided SoA coordinate
+// slices, so several trees over the same point array (T_low and T_high)
+// share one pair instead of duplicating them. x and y must satisfy
+// x[i] == Points()[i].X and y[i] == Points()[i].Y; pass nil, nil to have
+// the Flat build its own.
+func (t *Tree) CompactWithCoords(x, y []float64) *Flat {
+	f := &Flat{
+		pts:    t.pts,
+		height: t.height,
+		r:      t.r,
+		fanout: t.fanout,
+		size:   t.size,
+	}
+	if x == nil || y == nil {
+		x = make([]float64, len(t.pts))
+		y = make([]float64, len(t.pts))
+		for i, p := range t.pts {
+			x[i], y[i] = p.X, p.Y
+		}
+	} else if len(x) < len(t.pts) || len(y) < len(t.pts) {
+		panic(fmt.Sprintf("rtree: CompactWithCoords got %d/%d coords for %d points",
+			len(x), len(y), len(t.pts)))
+	}
+	f.ptX, f.ptY = x, y
+
+	root := t.root
+	if root == nil {
+		root = &node{leaf: true}
+	}
+
+	// BFS numbering: parents before children, each level contiguous, so
+	// with uniform leaf depth all leaves end up in one trailing block.
+	order := []*node{root}
+	for i := 0; i < len(order); i++ {
+		n := order[i]
+		if n.leaf {
+			continue
+		}
+		for _, e := range n.entries {
+			order = append(order, e.child)
+		}
+	}
+
+	numNodes := len(order)
+	f.firstLeaf = int32(numNodes) // until the first leaf is seen
+	f.nodeEnt = make([]int32, numNodes+1)
+	totalEntries := 0
+	maxEntries := 1
+	for i, n := range order {
+		f.nodeEnt[i] = int32(totalEntries)
+		totalEntries += len(n.entries)
+		if len(n.entries) > maxEntries {
+			maxEntries = len(n.entries)
+		}
+		if n.leaf {
+			if int32(i) < f.firstLeaf {
+				f.firstLeaf = int32(i)
+			}
+		} else if int32(i) > f.firstLeaf {
+			// BFS puts all leaves in one trailing block only when every
+			// leaf sits at the same depth — the invariant both build
+			// paths maintain (CheckInvariants enforces it).
+			panic("rtree: Compact requires uniform leaf depth")
+		}
+	}
+	f.nodeEnt[numNodes] = int32(totalEntries)
+
+	f.entMinX = make([]float64, totalEntries)
+	f.entMinY = make([]float64, totalEntries)
+	f.entMaxX = make([]float64, totalEntries)
+	f.entMaxY = make([]float64, totalEntries)
+	f.entRef = make([]int32, totalEntries)
+	f.entCnt = make([]int32, totalEntries)
+
+	// Children were appended to order in per-node entry order, so a
+	// node's k-th child has id (id of previous children)+1; recover it
+	// with a running child cursor per BFS scan.
+	childID := int32(1)
+	ei := 0
+	for _, n := range order {
+		for _, e := range n.entries {
+			f.entMinX[ei] = e.mbb.MinX
+			f.entMinY[ei] = e.mbb.MinY
+			f.entMaxX[ei] = e.mbb.MaxX
+			f.entMaxY[ei] = e.mbb.MaxY
+			if n.leaf {
+				f.entRef[ei] = e.start
+				f.entCnt[ei] = e.count
+			} else {
+				f.entRef[ei] = childID
+				childID++
+			}
+			ei++
+		}
+	}
+
+	f.maxStack = t.height*(maxEntries-1) + 1
+	if f.maxStack > flatLocalStack {
+		need := f.maxStack
+		f.stackPool = &sync.Pool{New: func() any {
+			s := make([]int32, 0, need)
+			return &s
+		}}
+	}
+	return f
+}
+
+// Points returns the backing point array; leaf ranges index into it.
+func (f *Flat) Points() []geom.Point { return f.pts }
+
+// Coords returns the SoA coordinate slices the distance filter scans.
+func (f *Flat) Coords() (x, y []float64) { return f.ptX, f.ptY }
+
+// Len returns the number of indexed points.
+func (f *Flat) Len() int { return f.size }
+
+// Height returns the number of tree levels.
+func (f *Flat) Height() int { return f.height }
+
+// R returns the leaf occupancy the source tree was built with.
+func (f *Flat) R() int { return f.r }
+
+// Stats reports the frozen tree's shape (same fields as Tree.Stats).
+func (f *Flat) Stats() Stats {
+	numNodes := len(f.nodeEnt) - 1
+	return Stats{
+		Height:      f.height,
+		Nodes:       numNodes,
+		LeafNodes:   numNodes - int(f.firstLeaf),
+		LeafEntries: int(f.nodeEnt[numNodes] - f.nodeEnt[f.firstLeaf]),
+		Points:      f.size,
+		R:           f.r,
+		Fanout:      f.fanout,
+	}
+}
+
+// String implements fmt.Stringer with a shape summary.
+func (f *Flat) String() string {
+	s := f.Stats()
+	return fmt.Sprintf("rtree.Flat{points=%d r=%d fanout=%d height=%d nodes=%d leafEntries=%d}",
+		s.Points, s.R, s.Fanout, s.Height, s.Nodes, s.LeafEntries)
+}
+
+// Search visits every leaf entry whose MBB intersects q, in the same
+// order as Tree.Search on the source tree, and returns the number of
+// nodes touched. Prefer SearchCandidates or EpsSearch on hot paths —
+// they avoid the per-range callback.
+func (f *Flat) Search(q geom.MBB, visit func(LeafRange)) (nodesVisited int) {
+	if f.maxStack <= flatLocalStack {
+		var buf [flatLocalStack]int32
+		return f.searchVisit(buf[:0], q, visit)
+	}
+	sp := f.stackPool.Get().(*[]int32)
+	n := f.searchVisit((*sp)[:0], q, visit)
+	f.stackPool.Put(sp)
+	return n
+}
+
+func (f *Flat) searchVisit(stack []int32, q geom.MBB, visit func(LeafRange)) int {
+	nodes := 0
+	stack = append(stack, 0)
+	for len(stack) > 0 {
+		ni := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+		lo, hi := f.nodeEnt[ni], f.nodeEnt[ni+1]
+		if ni >= f.firstLeaf {
+			for e := lo; e < hi; e++ {
+				if f.entMinX[e] <= q.MaxX && q.MinX <= f.entMaxX[e] &&
+					f.entMinY[e] <= q.MaxY && q.MinY <= f.entMaxY[e] {
+					visit(LeafRange{
+						MBB: geom.MBB{
+							MinX: f.entMinX[e], MinY: f.entMinY[e],
+							MaxX: f.entMaxX[e], MaxY: f.entMaxY[e],
+						},
+						Start: int(f.entRef[e]),
+						Count: int(f.entCnt[e]),
+					})
+				}
+			}
+			continue
+		}
+		// Push intersecting children in reverse so they pop in entry
+		// order — the exact visit order of the recursive pointer search.
+		for e := hi - 1; e >= lo; e-- {
+			if f.entMinX[e] <= q.MaxX && q.MinX <= f.entMaxX[e] &&
+				f.entMinY[e] <= q.MaxY && q.MinY <= f.entMaxY[e] {
+				stack = append(stack, f.entRef[e])
+			}
+		}
+	}
+	return nodes
+}
+
+// SearchCandidates appends to dst the indices of all points in leaf
+// entries overlapping q (candidates only — the caller distance-filters)
+// and returns dst plus the number of nodes touched. The output matches
+// Tree.SearchCandidates on the source tree element-for-element.
+func (f *Flat) SearchCandidates(q geom.MBB, dst []int32) (out []int32, nodesVisited int) {
+	if f.maxStack <= flatLocalStack {
+		var buf [flatLocalStack]int32
+		return f.searchCandidates(buf[:0], q, dst)
+	}
+	sp := f.stackPool.Get().(*[]int32)
+	out, n := f.searchCandidates((*sp)[:0], q, dst)
+	f.stackPool.Put(sp)
+	return out, n
+}
+
+func (f *Flat) searchCandidates(stack []int32, q geom.MBB, dst []int32) ([]int32, int) {
+	// Locals for the same aliasing reason as epsSearch.
+	entMinX, entMinY := f.entMinX, f.entMinY
+	entMaxX, entMaxY := f.entMaxX, f.entMaxY
+	entRef, entCnt := f.entRef, f.entCnt
+	nodeEnt, firstLeaf := f.nodeEnt, f.firstLeaf
+	nodes := 0
+	stack = append(stack, 0)
+	for len(stack) > 0 {
+		ni := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+		lo, hi := nodeEnt[ni], nodeEnt[ni+1]
+		if ni >= firstLeaf {
+			for e := lo; e < hi; e++ {
+				if entMinX[e] <= q.MaxX && q.MinX <= entMaxX[e] &&
+					entMinY[e] <= q.MaxY && q.MinY <= entMaxY[e] {
+					start, end := entRef[e], entRef[e]+entCnt[e]
+					for i := start; i < end; i++ {
+						dst = append(dst, i)
+					}
+				}
+			}
+			continue
+		}
+		for e := hi - 1; e >= lo; e-- {
+			if entMinX[e] <= q.MaxX && q.MinX <= entMaxX[e] &&
+				entMinY[e] <= q.MaxY && q.MinY <= entMaxY[e] {
+				stack = append(stack, entRef[e])
+			}
+		}
+	}
+	return dst, nodes
+}
+
+// EpsSearch is the fused ε-neighborhood search (Algorithm 2 without the
+// per-leaf callback): it walks the leaves intersecting the ε-augmented
+// box around p and distance-filters their point runs against the SoA
+// coordinate slices, appending passing indices to dst. It returns dst,
+// the number of candidate points examined, and the number of nodes
+// touched — the same triple NeighborSearch derives from Tree.Search, in
+// the same order, with zero heap allocations once dst has warmed up.
+func (f *Flat) EpsSearch(p geom.Point, eps float64, dst []int32) (out []int32, candidates, nodesVisited int) {
+	if f.maxStack <= flatLocalStack {
+		var buf [flatLocalStack]int32
+		return f.epsSearch(buf[:0], p, eps, dst)
+	}
+	sp := f.stackPool.Get().(*[]int32)
+	out, c, n := f.epsSearch((*sp)[:0], p, eps, dst)
+	f.stackPool.Put(sp)
+	return out, c, n
+}
+
+func (f *Flat) epsSearch(stack []int32, p geom.Point, eps float64, dst []int32) ([]int32, int, int) {
+	minX, minY := p.X-eps, p.Y-eps
+	maxX, maxY := p.X+eps, p.Y+eps
+	epsSq := eps * eps
+	px, py := p.X, p.Y
+	// Hoist every array into a local: dst shares the []int32 element type
+	// with entRef/entCnt, so without these the compiler must assume each
+	// append may alias a tree slice and reload the headers every access.
+	ptX, ptY := f.ptX, f.ptY
+	entMinX, entMinY := f.entMinX, f.entMinY
+	entMaxX, entMaxY := f.entMaxX, f.entMaxY
+	entRef, entCnt := f.entRef, f.entCnt
+	nodeEnt, firstLeaf := f.nodeEnt, f.firstLeaf
+	candidates, nodes := 0, 0
+	stack = append(stack, 0)
+	for len(stack) > 0 {
+		ni := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+		lo, hi := nodeEnt[ni], nodeEnt[ni+1]
+		if ni >= firstLeaf {
+			for e := lo; e < hi; e++ {
+				if entMinX[e] <= maxX && minX <= entMaxX[e] &&
+					entMinY[e] <= maxY && minY <= entMaxY[e] {
+					start, end := int(entRef[e]), int(entRef[e]+entCnt[e])
+					candidates += end - start
+					for i := start; i < end; i++ {
+						dx := px - ptX[i]
+						dy := py - ptY[i]
+						if dx*dx+dy*dy <= epsSq {
+							dst = append(dst, int32(i))
+						}
+					}
+				}
+			}
+			continue
+		}
+		for e := hi - 1; e >= lo; e-- {
+			if entMinX[e] <= maxX && minX <= entMaxX[e] &&
+				entMinY[e] <= maxY && minY <= entMaxY[e] {
+				stack = append(stack, entRef[e])
+			}
+		}
+	}
+	return dst, candidates, nodes
+}

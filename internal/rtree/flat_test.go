@@ -1,0 +1,216 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vdbscan/internal/geom"
+	"vdbscan/internal/grid"
+)
+
+func randPts(rng *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+	return pts
+}
+
+// collectRanges gathers a search's leaf ranges in visit order.
+func collectRanges(search func(func(LeafRange)) int) ([]LeafRange, int) {
+	var out []LeafRange
+	n := search(func(lr LeafRange) { out = append(out, lr) })
+	return out, n
+}
+
+// TestFlatMatchesTreeSearch checks that a compacted tree reproduces the
+// pointer tree's Search exactly: same leaf ranges, same visit order, same
+// node count — for bulk-loaded trees at several r and fanout values.
+func TestFlatMatchesTreeSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{0, 1, 5, 100, 3000} {
+		for _, r := range []int{1, 7, 70} {
+			for _, fanout := range []int{2, 4, 16} {
+				sorted, _ := grid.Sort(randPts(rng, n), 1)
+				tr := BulkLoad(sorted, Options{R: r, Fanout: fanout})
+				fl := tr.Compact()
+				if fl.Len() != tr.Len() || fl.Height() != tr.Height() || fl.R() != tr.R() {
+					t.Fatalf("n=%d r=%d fanout=%d: shape mismatch %v vs %v", n, r, fanout, fl, tr)
+				}
+				if fs, ts := fl.Stats(), tr.Stats(); fs != ts {
+					t.Fatalf("n=%d r=%d fanout=%d: stats %+v vs %+v", n, r, fanout, fs, ts)
+				}
+				for trial := 0; trial < 30; trial++ {
+					q := geom.QueryMBB(geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100},
+						rng.Float64()*10)
+					want, wantNodes := collectRanges(func(v func(LeafRange)) int { return tr.Search(q, v) })
+					got, gotNodes := collectRanges(func(v func(LeafRange)) int { return fl.Search(q, v) })
+					if gotNodes != wantNodes {
+						t.Fatalf("n=%d r=%d fanout=%d: nodes %d vs %d", n, r, fanout, gotNodes, wantNodes)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("n=%d r=%d fanout=%d: %d ranges vs %d", n, r, fanout, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("range %d: %+v vs %+v", i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFlatSearchCandidatesIdentical checks element-for-element equality of
+// the candidate streams, including order — the property the byte-identical
+// clustering guarantee rests on.
+func TestFlatSearchCandidatesIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sorted, _ := grid.Sort(randPts(rng, 5000), 1)
+	for _, r := range []int{1, 70, 110} {
+		tr := BulkLoad(sorted, Options{R: r})
+		fl := tr.Compact()
+		for trial := 0; trial < 50; trial++ {
+			q := geom.QueryMBB(geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100},
+				rng.Float64()*8)
+			want := tr.SearchCandidates(q, nil)
+			got, _ := fl.SearchCandidates(q, nil)
+			if len(got) != len(want) {
+				t.Fatalf("r=%d: %d candidates vs %d", r, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("r=%d candidate %d: %d vs %d", r, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFlatEpsSearchOracle checks EpsSearch against a linear-scan oracle:
+// the fused search must return exactly the points within eps, in ascending
+// leaf-run order, and candidate counts must match the pointer-tree search.
+func TestFlatEpsSearchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	sorted, _ := grid.Sort(randPts(rng, 4000), 1)
+	for _, r := range []int{1, 35, 70} {
+		tr := BulkLoad(sorted, Options{R: r})
+		fl := tr.Compact()
+		var dst []int32
+		for trial := 0; trial < 50; trial++ {
+			p := geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+			eps := rng.Float64()*5 + 0.01
+			dst, _, _ = fl.EpsSearch(p, eps, dst[:0])
+
+			// Oracle: distance filter over the pointer tree's candidates
+			// (identical traversal), cross-checked against a full scan.
+			epsSq := eps * eps
+			var want []int32
+			for _, ci := range tr.SearchCandidates(geom.QueryMBB(p, eps), nil) {
+				if p.DistSq(sorted[ci]) <= epsSq {
+					want = append(want, ci)
+				}
+			}
+			if len(dst) != len(want) {
+				t.Fatalf("r=%d: %d neighbors vs %d", r, len(dst), len(want))
+			}
+			for i := range dst {
+				if dst[i] != want[i] {
+					t.Fatalf("r=%d neighbor %d: %d vs %d", r, i, dst[i], want[i])
+				}
+			}
+			inEps := 0
+			for _, q := range sorted {
+				if p.DistSq(q) <= epsSq {
+					inEps++
+				}
+			}
+			if len(dst) != inEps {
+				t.Fatalf("r=%d: EpsSearch found %d, full scan %d", r, len(dst), inEps)
+			}
+		}
+	}
+}
+
+// TestFlatDynamicRecompact exercises the mutate-then-freeze cycle: grow a
+// dynamic tree, Compact, verify, insert more, Compact again.
+func TestFlatDynamicRecompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := New(Options{Fanout: 8})
+	check := func() {
+		t.Helper()
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		fl := tr.Compact()
+		huge := geom.MBB{MinX: -1e9, MinY: -1e9, MaxX: 1e9, MaxY: 1e9}
+		want := tr.SearchCandidates(huge, nil)
+		got, _ := fl.SearchCandidates(huge, nil)
+		if len(got) != len(want) {
+			t.Fatalf("after %d inserts: %d candidates vs %d", tr.Len(), len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("candidate %d: %d vs %d", i, got[i], want[i])
+			}
+		}
+	}
+	check() // empty tree
+	for _, batch := range []int{1, 10, 200, 1000} {
+		for i := 0; i < batch; i++ {
+			tr.Insert(geom.Point{X: rng.Float64() * 50, Y: rng.Float64() * 50})
+		}
+		check()
+	}
+}
+
+// TestFlatSharedCoords checks that CompactWithCoords shares the caller's
+// SoA slices rather than copying.
+func TestFlatSharedCoords(t *testing.T) {
+	sorted, _ := grid.Sort(randPts(rand.New(rand.NewSource(1)), 100), 1)
+	x := make([]float64, len(sorted))
+	y := make([]float64, len(sorted))
+	for i, p := range sorted {
+		x[i], y[i] = p.X, p.Y
+	}
+	low := BulkLoad(sorted, Options{R: 10}).CompactWithCoords(x, y)
+	high := BulkLoad(sorted, Options{R: 1}).CompactWithCoords(x, y)
+	lx, _ := low.Coords()
+	hx, _ := high.Coords()
+	if &lx[0] != &x[0] || &hx[0] != &x[0] {
+		t.Fatal("CompactWithCoords did not share the provided coordinate slices")
+	}
+}
+
+// Property: flat and pointer candidate streams agree for arbitrary
+// quick-generated point sets, r, and query boxes.
+func TestQuickFlatEquivalence(t *testing.T) {
+	f := func(raw []float64, qx, qy, qr float64, rSel, fanoutSel uint8) bool {
+		pts := normPts(raw)
+		if math.IsNaN(qx) || math.IsNaN(qy) || math.IsNaN(qr) {
+			return true
+		}
+		sorted, _ := grid.Sort(pts, 1)
+		tr := BulkLoad(sorted, Options{R: int(rSel)%120 + 1, Fanout: int(fanoutSel)%14 + 2})
+		fl := tr.Compact()
+		q := geom.QueryMBB(geom.Point{X: math.Mod(math.Abs(qx), 100), Y: math.Mod(math.Abs(qy), 100)},
+			math.Mod(math.Abs(qr), 20))
+		want := tr.SearchCandidates(q, nil)
+		got, _ := fl.SearchCandidates(q, nil)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

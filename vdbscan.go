@@ -108,6 +108,7 @@ type config struct {
 	strategy     SchedStrategy
 	minSeedSize  int
 	disableReuse bool
+	noFlat       bool
 	work         *Work
 }
 
@@ -135,6 +136,15 @@ func WithR(r int) Option { return func(c *config) { c.r = r } }
 // WithBinWidth sets the width of the spatial sorting bins applied before
 // indexing (default 1, the paper's unit-width bins).
 func WithBinWidth(w float64) Option { return func(c *config) { c.binWidth = w } }
+
+// WithFlatIndex toggles the flat array-backed R-tree representation
+// (default on). After bulk loading, both trees are frozen into contiguous
+// struct-of-arrays node layouts traversed iteratively, which removes
+// pointer chasing and per-search allocations from the ε-search hot path;
+// clustering output is byte-identical either way. Pass false to search
+// the pointer-based trees directly (the pre-freeze layout, mainly useful
+// for layout ablations).
+func WithFlatIndex(on bool) Option { return func(c *config) { c.noFlat = !on } }
 
 // WithThreads sets the number of worker goroutines T executing variants
 // concurrently (default 1). Above 1 it also enables two-level scheduling in
@@ -195,13 +205,14 @@ type Index struct {
 	pts []Point
 }
 
-// NewIndex grid-sorts points and builds the shared R-trees. Only WithR and
-// WithBinWidth options apply. The input slice is not retained or modified.
+// NewIndex grid-sorts points and builds the shared R-trees. Only WithR,
+// WithBinWidth, and WithFlatIndex options apply. The input slice is not
+// retained or modified.
 func NewIndex(points []Point, opts ...Option) *Index {
 	c := buildConfig(opts)
 	cp := append([]Point(nil), points...)
 	return &Index{
-		ix:  dbscan.BuildIndex(cp, dbscan.IndexOptions{R: c.r, BinWidth: c.binWidth}),
+		ix:  dbscan.BuildIndex(cp, dbscan.IndexOptions{R: c.r, BinWidth: c.binWidth, NoFlat: c.noFlat}),
 		pts: cp,
 	}
 }
