@@ -4,11 +4,17 @@
 //
 //	experiments [-exp all|table1|table2|table3|table4|fig4|fig5|fig6|fig7|fig8|fig9]
 //	            [-scale 0.01] [-threads 16] [-r 70] [-seed N]
-//	            [-cpuprofile cpu.out] [-memprofile mem.out]
+//	            [-trace out.json] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -scale multiplies every dataset's |D| (1 reproduces the paper's sizes; the
 // default 0.01 keeps a laptop run in minutes). ε values are automatically
 // multiplied by 1/√scale to compensate for the density drop.
+//
+// -trace runs the traced demonstration workload (6 variants on SW1 with an
+// execution tracer attached) after the selected experiments, printing a
+// plain-text timeline and writing Chrome trace-event JSON to the given file
+// — open it in chrome://tracing or https://ui.perfetto.dev. The same run is
+// also available as `-exp trace` (timeline only unless -trace is set).
 //
 // -cpuprofile and -memprofile write pprof profiles covering the selected
 // experiments, so index-layout and allocation behavior can be inspected
@@ -34,6 +40,7 @@ func main() {
 	r := flag.Int("r", 70, "epsilon-search tree leaf occupancy (points per MBB)")
 	seed := flag.Uint64("seed", 0xDB5CA7, "dataset generation seed")
 	trials := flag.Int("trials", 1, "repetitions averaged per timed measurement (paper: 3)")
+	tracePath := flag.String("trace", "", "write a Chrome trace of the demonstration workload to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	flag.Parse()
@@ -63,13 +70,13 @@ func main() {
 	s.R = *r
 	s.Seed = *seed
 	s.Trials = *trials
+	s.TracePath = *tracePath
 
 	fmt.Printf("VariantDBSCAN experiment harness\n")
 	fmt.Printf("scale=%g (eps x%.2f), threads=%d, r=%d, trials=%d, seed=%#x\n",
 		*scale, s.EpsFactor(), s.Threads, s.R, s.Trials, s.Seed)
 
-	start := time.Now()
-	if err := s.Run(*exp); err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		// Flush the profiles before exiting so a failed experiment still
 		// leaves them inspectable (os.Exit skips deferred writers).
@@ -80,6 +87,15 @@ func main() {
 			writeHeapProfile(*memProfile)
 		}
 		os.Exit(1)
+	}
+	start := time.Now()
+	if err := s.Run(*exp); err != nil {
+		fail(err)
+	}
+	if *tracePath != "" && *exp != "trace" {
+		if err := s.Trace(); err != nil {
+			fail(err)
+		}
 	}
 	fmt.Printf("\ncompleted %q in %s\n", *exp, time.Since(start).Round(time.Millisecond))
 }

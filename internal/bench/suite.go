@@ -35,6 +35,9 @@ type Suite struct {
 	Trials int
 	// Out receives the rendered tables.
 	Out io.Writer
+	// TracePath, when non-empty, is where Trace writes its Chrome
+	// trace-event JSON (the plain-text timeline always goes to Out).
+	TracePath string
 
 	datasets map[string]*data.Dataset
 	indexes  map[string]*dbscan.Index // keyed by name/r

@@ -23,6 +23,7 @@ import (
 	"vdbscan/internal/cluster"
 	"vdbscan/internal/dbscan"
 	"vdbscan/internal/metrics"
+	"vdbscan/internal/obs"
 	"vdbscan/internal/reuse"
 	"vdbscan/internal/variant"
 )
@@ -53,6 +54,14 @@ type Options struct {
 	// This implements the selection criterion the paper's getSeedList
 	// description leaves open.
 	MinSeedSize int
+	// Rec, when non-nil, records the expand/scratch phase boundaries of
+	// variant Variant into the calling worker's trace ring. Phase events
+	// are emitted once per phase — never per point or per ε-search — and
+	// the nil default is a free no-op, so the hot paths are untouched
+	// either way.
+	Rec *obs.Recorder
+	// Variant is the variant ID used in trace events.
+	Variant int32
 }
 
 // Run clusters variant p over the shared index. prev is the completed
@@ -66,7 +75,9 @@ func Run(ix *dbscan.Index, p dbscan.Params, prev *cluster.Result, scheme reuse.S
 // RunOpts is Run with full reuse options.
 func RunOpts(ix *dbscan.Index, p dbscan.Params, prev *cluster.Result, opt Options, m *metrics.Counters) (*cluster.Result, Stats, error) {
 	if prev == nil || prev.NumClusters == 0 {
+		opt.Rec.PhaseBegin(opt.Variant, obs.PhaseScratch)
 		res, err := dbscan.Run(ix, p, m)
+		opt.Rec.PhaseEnd(opt.Variant, obs.PhaseScratch)
 		return res, Stats{FromScratch: true}, err
 	}
 	if err := p.Validate(); err != nil {
@@ -92,6 +103,7 @@ func RunOpts(ix *dbscan.Index, p dbscan.Params, prev *cluster.Result, opt Option
 	var epoch int32
 	var frontier, nbuf, cbuf []int32
 
+	opt.Rec.PhaseBegin(opt.Variant, obs.PhaseExpand)
 	for _, sid := range seeds {
 		if destroyed[sid] {
 			continue
@@ -141,6 +153,8 @@ func RunOpts(ix *dbscan.Index, p dbscan.Params, prev *cluster.Result, opt Option
 		// instead of re-grown from the stale frontier capacity each time.
 		frontier, nbuf = expandCluster(ix, p, res, visited, destroyed, prev, cid, sid, frontier, nbuf, m, &stats)
 	}
+	opt.Rec.PhaseEnd(opt.Variant, obs.PhaseExpand)
+	opt.Rec.PhaseBegin(opt.Variant, obs.PhaseScratch)
 
 	// Line 18: cluster the remainder with DBSCAN over unvisited points.
 	// Points enter the queue at most once (marked visited at discovery).
@@ -180,6 +194,7 @@ func RunOpts(ix *dbscan.Index, p dbscan.Params, prev *cluster.Result, opt Option
 		}
 	}
 	res.NumClusters = int(cid)
+	opt.Rec.PhaseEnd(opt.Variant, obs.PhaseScratch)
 	if n > 0 {
 		stats.FractionReused = float64(stats.PointsReused) / float64(n)
 	}

@@ -8,6 +8,7 @@ import (
 
 	"vdbscan/internal/cluster"
 	"vdbscan/internal/metrics"
+	"vdbscan/internal/obs"
 	"vdbscan/internal/unionfind"
 )
 
@@ -45,9 +46,12 @@ import (
 // goroutines may invoke concurrently; help returns when the phase's work is
 // exhausted. The returned stop retracts the offer and blocks until every
 // in-flight donated invocation has returned, so the caller may rely on
-// happens-before between donated writes and its next phase.
+// happens-before between donated writes and its next phase. variant is the
+// offering variant execution's ID (ParallelOptions.Variant), which lets the
+// helper attribute donated time in traces; helpers that don't trace may
+// ignore it.
 type Helper interface {
-	Offer(help func()) (stop func())
+	Offer(variant int32, help func()) (stop func())
 }
 
 // ParallelOptions configures RunParallelOpts.
@@ -58,6 +62,13 @@ type ParallelOptions struct {
 	// Helper, when non-nil, contributes donated goroutines to every
 	// parallel phase on top of Workers (two-level scheduling).
 	Helper Helper
+	// Rec, when non-nil, records mark/link/label/border phase spans for
+	// variant Variant into the calling worker's trace ring. The nil
+	// default costs nothing: every Recorder method is a nil-receiver no-op
+	// and no per-point work is ever traced.
+	Rec *obs.Recorder
+	// Variant is the variant ID used in trace events and Helper offers.
+	Variant int32
 }
 
 // parallelChunk is the number of contiguous grid-sorted points a worker
@@ -141,7 +152,9 @@ func RunParallelOpts(ctx context.Context, ix *Index, p Params, opt ParallelOptio
 		}
 		local.FlushTo(m)
 	}
-	runPhase(workers, opt.Helper, mark)
+	opt.Rec.PhaseBegin(opt.Variant, obs.PhaseMark)
+	runPhase(workers, opt, mark)
+	opt.Rec.PhaseEnd(opt.Variant, obs.PhaseMark)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -172,7 +185,9 @@ func RunParallelOpts(ctx context.Context, ix *Index, p Params, opt ParallelOptio
 			}
 		}
 	}
-	runPhase(workers, opt.Helper, link)
+	opt.Rec.PhaseBegin(opt.Variant, obs.PhaseLink)
+	runPhase(workers, opt, link)
+	opt.Rec.PhaseEnd(opt.Variant, obs.PhaseLink)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -180,6 +195,7 @@ func RunParallelOpts(ctx context.Context, ix *Index, p Params, opt ParallelOptio
 	// Phase 3 (sequential, O(n) with near-flat finds): number the core
 	// sets by ascending minimum core index — precisely Run's formation
 	// order — and label core points.
+	opt.Rec.PhaseBegin(opt.Variant, obs.PhaseLabel)
 	rootID := make([]int32, n)
 	var cid int32
 	for i := 0; i < n; i++ {
@@ -193,6 +209,7 @@ func RunParallelOpts(ctx context.Context, ix *Index, p Params, opt ParallelOptio
 		}
 		res.Labels[i] = rootID[r]
 	}
+	opt.Rec.PhaseEnd(opt.Variant, obs.PhaseLabel)
 
 	// Phase 4: border attachment. A border point joins the lowest-cid
 	// cluster that has a core point within ε — Run's first-absorber — via
@@ -231,7 +248,9 @@ func RunParallelOpts(ctx context.Context, ix *Index, p Params, opt ParallelOptio
 			}
 		}
 	}
-	runPhase(workers, opt.Helper, attachBorders)
+	opt.Rec.PhaseBegin(opt.Variant, obs.PhaseBorder)
+	runPhase(workers, opt, attachBorders)
+	opt.Rec.PhaseEnd(opt.Variant, obs.PhaseBorder)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -254,10 +273,10 @@ func RunParallelOpts(ctx context.Context, ix *Index, p Params, opt ParallelOptio
 // any donated helpers, returning once every invocation has finished. body
 // must be safe for concurrent invocation and return when the phase's work
 // is exhausted.
-func runPhase(workers int, h Helper, body func()) {
+func runPhase(workers int, opt ParallelOptions, body func()) {
 	var stop func()
-	if h != nil {
-		stop = h.Offer(body)
+	if opt.Helper != nil {
+		stop = opt.Helper.Offer(opt.Variant, body)
 	}
 	var wg sync.WaitGroup
 	for w := 1; w < workers; w++ {

@@ -3,6 +3,7 @@ package dbscan
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"vdbscan/internal/cluster"
@@ -179,7 +180,7 @@ func TestRunCtxCancellation(t *testing.T) {
 // donor goroutines — the shape internal/sched's donor pool provides.
 type waitHelper struct{ donors int }
 
-func (h *waitHelper) Offer(help func()) (stop func()) {
+func (h *waitHelper) Offer(_ int32, help func()) (stop func()) {
 	var wg sync.WaitGroup
 	for i := 0; i < h.donors; i++ {
 		wg.Add(1)
@@ -203,5 +204,96 @@ func TestRunParallelWithHelperMatches(t *testing.T) {
 			t.Fatal(err)
 		}
 		requireIdentical(t, got, want, "helper")
+	}
+}
+
+// countdownCtx is a context whose Err starts reporting cancellation at its
+// nth call, making the cancellation point of a parallel run deterministic
+// (the stdlib's cancel happens at an arbitrary instant relative to chunk
+// boundaries).
+type countdownCtx struct {
+	context.Context
+	calls atomic.Int64
+	after int64
+}
+
+func (c *countdownCtx) Err() error {
+	if c.calls.Add(1) >= c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestRunParallelCancelFlushesLocalCounters is the regression test for the
+// batched-counter audit: when a run is canceled mid-way, every worker's
+// metrics.Local batch must still reach the shared Counters (the flush after
+// the chunk loop), so no performed ε-search goes uncounted.
+//
+// With one worker and cancellation at the 3rd Err() call, the mark phase
+// deterministically completes exactly two 256-point chunks — each point
+// ε-searched once and flushed once per chunk — before observing the cancel,
+// so the shared counters must read exactly 512 searches.
+func TestRunParallelCancelFlushesLocalCounters(t *testing.T) {
+	ds, err := data.Generate(data.SynthConfig{Class: data.ClassCF, N: 2048, NoiseFrac: 0.2, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := BuildIndex(ds.Points, IndexOptions{R: 16})
+	var m metrics.Counters
+	ctx := &countdownCtx{Context: context.Background(), after: 3}
+	res, err := RunParallelOpts(ctx, ix, Params{Eps: 1, MinPts: 4},
+		ParallelOptions{Workers: 1}, &m)
+	if err == nil || res != nil {
+		t.Fatalf("expected canceled run, got res=%v err=%v", res, err)
+	}
+	snap := m.Snapshot()
+	if want := int64(2 * parallelChunk); snap.NeighborSearches != want {
+		t.Fatalf("NeighborSearches = %d after mid-run cancel, want %d (Local batch dropped?)",
+			snap.NeighborSearches, want)
+	}
+	if snap.CandidatesExamined == 0 || snap.NodesVisited == 0 {
+		t.Fatalf("candidate/node counters empty after cancel: %+v", snap)
+	}
+
+	// Multi-worker runs cancel at nondeterministic chunk counts, but the
+	// invariant stands: whatever chunks completed were flushed whole.
+	for _, workers := range []int{2, 4} {
+		var mw metrics.Counters
+		cw := &countdownCtx{Context: context.Background(), after: 5}
+		if _, err := RunParallelOpts(cw, ix, Params{Eps: 1, MinPts: 4},
+			ParallelOptions{Workers: workers}, &mw); err == nil {
+			t.Fatalf("workers=%d: expected canceled run", workers)
+		}
+		s := mw.Snapshot()
+		if s.NeighborSearches == 0 || s.NeighborSearches%parallelChunk != 0 {
+			t.Fatalf("workers=%d: NeighborSearches = %d, want a positive multiple of %d",
+				workers, s.NeighborSearches, parallelChunk)
+		}
+	}
+}
+
+// TestNeighborSearchZeroAlloc covers the expansion hot path's counter
+// flavor: NeighborSearch into shared atomic Counters (what Run's BFS
+// expansion and VariantDBSCAN's EXPANDCLUSTER call per frontier point) must
+// not allocate with a warmed destination buffer — tracing disabled adds
+// nothing to this path because span events are per-phase, not per-search.
+func TestNeighborSearchZeroAlloc(t *testing.T) {
+	ds, err := data.Generate(data.SynthConfig{Class: data.ClassCF, N: 20_000, NoiseFrac: 0.15, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := BuildIndex(ds.Points, IndexOptions{R: 70})
+	var m metrics.Counters
+	dst := make([]int32, 0, 4096)
+	for i := 0; i < len(ix.Pts); i += 37 { // warm dst to its high-water mark
+		dst = ix.NeighborSearch(ix.Pts[i], 2, &m, dst[:0])
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		dst = ix.NeighborSearch(ix.Pts[i%len(ix.Pts)], 2, &m, dst[:0])
+		i += 41
+	})
+	if allocs != 0 {
+		t.Fatalf("NeighborSearch allocated %.1f times per run, want 0", allocs)
 	}
 }

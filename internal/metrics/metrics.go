@@ -117,6 +117,37 @@ func (c *Counters) Snapshot() Snapshot {
 	}
 }
 
+// AddSnapshot accumulates a whole snapshot into the counters — the
+// aggregation edge between a per-variant counter set (whose Snapshot is the
+// variant's own work delta, reported in trace events) and the run-wide
+// totals. Nil-safe and skip-on-zero like the scalar Add* methods.
+func (c *Counters) AddSnapshot(s Snapshot) {
+	if c == nil {
+		return
+	}
+	if s.NeighborSearches != 0 {
+		c.neighborSearches.Add(s.NeighborSearches)
+	}
+	if s.CandidatesExamined != 0 {
+		c.candidatesExamined.Add(s.CandidatesExamined)
+	}
+	if s.NeighborsFound != 0 {
+		c.neighborsFound.Add(s.NeighborsFound)
+	}
+	if s.NodesVisited != 0 {
+		c.nodesVisited.Add(s.NodesVisited)
+	}
+	if s.PointsReused != 0 {
+		c.pointsReused.Add(s.PointsReused)
+	}
+	if s.ClustersReused != 0 {
+		c.clustersReused.Add(s.ClustersReused)
+	}
+	if s.ClustersDestroyed != 0 {
+		c.clustersDestroyed.Add(s.ClustersDestroyed)
+	}
+}
+
 // Reset zeroes every counter.
 func (c *Counters) Reset() {
 	if c == nil {

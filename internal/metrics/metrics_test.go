@@ -159,3 +159,100 @@ func TestLocalConcurrentWorkersFlush(t *testing.T) {
 		t.Errorf("batched totals wrong: %+v", s)
 	}
 }
+
+// fullSnapshot populates every field with a distinct value so field-mapping
+// mistakes in Sub/Add/AddSnapshot can't cancel out.
+func fullSnapshot(base int64) Snapshot {
+	return Snapshot{
+		NeighborSearches:   base + 1,
+		CandidatesExamined: base + 2,
+		NeighborsFound:     base + 3,
+		NodesVisited:       base + 4,
+		PointsReused:       base + 5,
+		ClustersReused:     base + 6,
+		ClustersDestroyed:  base + 7,
+	}
+}
+
+// TestSubZeroCases pins the identities the tracer's delta attribution
+// relies on: subtracting the zero snapshot is the identity, subtracting a
+// snapshot from itself is zero, and Sub covers every field.
+func TestSubZeroCases(t *testing.T) {
+	a := fullSnapshot(100)
+	if got := a.Sub(Snapshot{}); got != a {
+		t.Errorf("a.Sub(zero) = %+v, want %+v", got, a)
+	}
+	if got := a.Sub(a); got != (Snapshot{}) {
+		t.Errorf("a.Sub(a) = %+v, want zero", got)
+	}
+	b := fullSnapshot(40)
+	d := a.Sub(b)
+	want := Snapshot{NeighborSearches: 60, CandidatesExamined: 60, NeighborsFound: 60,
+		NodesVisited: 60, PointsReused: 60, ClustersReused: 60, ClustersDestroyed: 60}
+	if d != want {
+		t.Errorf("field-wise Sub = %+v, want %+v", d, want)
+	}
+	if got := b.Add(d); got != a {
+		t.Errorf("Add/Sub round trip = %+v, want %+v", got, a)
+	}
+}
+
+// TestAddSnapshot covers the per-variant → run-wide aggregation edge the
+// tracer introduced: folding a variant's own counter snapshot into shared
+// totals, including the nil-receiver and zero-snapshot no-op paths.
+func TestAddSnapshot(t *testing.T) {
+	var c Counters
+	c.AddSnapshot(fullSnapshot(10))
+	c.AddSnapshot(Snapshot{}) // all-zero: skip-on-zero fast path
+	c.AddSnapshot(fullSnapshot(20))
+	got := c.Snapshot()
+	want := fullSnapshot(10).Add(fullSnapshot(20))
+	if got != want {
+		t.Errorf("AddSnapshot totals = %+v, want %+v", got, want)
+	}
+	var nilC *Counters
+	nilC.AddSnapshot(fullSnapshot(1)) // must not panic
+	if nilC.Snapshot() != (Snapshot{}) {
+		t.Error("nil Counters snapshot not zero")
+	}
+}
+
+// TestConcurrentSnapshotDelta exercises the exact path the tracer uses to
+// attribute work to one phase — snapshot before, snapshot after, Sub —
+// while other goroutines keep accumulating. Two barriers partition the
+// writes so the expected delta is deterministic even though phase-2 writers
+// run concurrently with the closing snapshot's loads.
+func TestConcurrentSnapshotDelta(t *testing.T) {
+	var c Counters
+	const workers, per = 8, 500
+
+	runPhase := func(searches, reused int64) {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := int64(0); i < per; i++ {
+					c.AddNeighborSearches(searches)
+					c.AddPointsReused(reused)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	runPhase(1, 0) // phase 1: searches only
+	before := c.Snapshot()
+	runPhase(2, 3) // phase 2: what the delta must capture
+	delta := c.Snapshot().Sub(before)
+
+	if want := int64(2 * workers * per); delta.NeighborSearches != want {
+		t.Errorf("delta searches = %d, want %d", delta.NeighborSearches, want)
+	}
+	if want := int64(3 * workers * per); delta.PointsReused != want {
+		t.Errorf("delta reused = %d, want %d", delta.PointsReused, want)
+	}
+	if delta.CandidatesExamined != 0 {
+		t.Errorf("delta candidates = %d, want 0", delta.CandidatesExamined)
+	}
+}

@@ -1,6 +1,10 @@
 package sched
 
-import "sync"
+import (
+	"sync"
+
+	"vdbscan/internal/obs"
+)
 
 // donorPool implements dbscan.Helper for two-level scheduling: pool workers
 // that find the variant queue empty donate themselves to the parallel
@@ -24,6 +28,7 @@ type donorPool struct {
 
 // offer is one open parallel phase accepting donated workers.
 type offer struct {
+	variant   int32 // the variant being helped (trace annotation)
 	help      func()
 	wg        sync.WaitGroup // in-flight donated invocations
 	exhausted bool           // a help() invocation returned: no work left
@@ -37,9 +42,10 @@ func newDonorPool() *donorPool {
 
 // Offer publishes help to idle donors until the returned stop is called;
 // stop blocks until every donated invocation has returned, giving the
-// caller happens-before with all donated writes.
-func (p *donorPool) Offer(help func()) (stop func()) {
-	o := &offer{help: help}
+// caller happens-before with all donated writes. variant identifies the
+// offering variant execution for trace donor-join/leave events.
+func (p *donorPool) Offer(variant int32, help func()) (stop func()) {
+	o := &offer{variant: variant, help: help}
 	p.mu.Lock()
 	p.offers = append(p.offers, o)
 	p.mu.Unlock()
@@ -74,7 +80,9 @@ func (p *donorPool) variantFinished() {
 
 // donate serves open offers until no variant is running, then returns.
 // Must only be called after the caller's take() has failed permanently.
-func (p *donorPool) donate() {
+// rec (the donating worker's trace recorder, nil when tracing is off)
+// receives a donor-join/donor-leave pair around every donated phase.
+func (p *donorPool) donate(rec *obs.Recorder) {
 	p.mu.Lock()
 	for {
 		var o *offer
@@ -94,7 +102,9 @@ func (p *donorPool) donate() {
 		}
 		o.wg.Add(1)
 		p.mu.Unlock()
+		rec.Event(obs.KindDonorJoin, o.variant, 0, 0)
 		o.help() // drains the phase's chunk cursor
+		rec.Event(obs.KindDonorLeave, o.variant, 0, 0)
 		p.mu.Lock()
 		o.exhausted = true
 		o.wg.Done()

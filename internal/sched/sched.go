@@ -37,6 +37,7 @@ import (
 	"vdbscan/internal/core"
 	"vdbscan/internal/dbscan"
 	"vdbscan/internal/metrics"
+	"vdbscan/internal/obs"
 	"vdbscan/internal/reuse"
 	"vdbscan/internal/variant"
 )
@@ -125,6 +126,16 @@ type Options struct {
 	DonateIdle bool
 	// Metrics optionally accumulates work counters across all variants.
 	Metrics *metrics.Counters
+	// Tracer optionally records the run's execution timeline: variant
+	// lifecycle spans, seed-selection decisions, expand/scratch phase
+	// boundaries, donor join/leave, and per-variant work deltas. Nil (the
+	// default) disables tracing at zero cost — every recording call is a
+	// nil-receiver no-op that allocates nothing.
+	Tracer *obs.Tracer
+	// Progress, when non-nil, is invoked serially after each variant
+	// completes with the live run state (variants done, running mean reuse
+	// fraction). It is called from worker goroutines — keep it fast.
+	Progress func(obs.ProgressEvent)
 }
 
 // intraEnabled reports whether from-scratch executions should take the
@@ -143,7 +154,12 @@ type VariantResult struct {
 	SourceID int
 	// Worker is the pool worker (0..T-1) that ran the variant.
 	Worker int
-	// Start and End are offsets from the start of Execute.
+	// Start and End are offsets from the run's start instant: a single
+	// time.Time captured once when Execute begins, measured with
+	// time.Since, so every offset is derived from Go's monotonic clock and
+	// all workers (and any attached obs.Tracer) share the same basis.
+	// Spans therefore order correctly across workers: End ≥ Start ≥ 0 and
+	// End ≤ RunResult.Makespan, wall-clock adjustments notwithstanding.
 	Start, End time.Duration
 }
 
@@ -246,8 +262,9 @@ func (g *registry) byID(id int) *completedEntry {
 	return nil
 }
 
-// choose returns the closest reusable completed entry for p, or nil.
-func (g *registry) choose(p dbscan.Params, norm variant.Normalizer) *completedEntry {
+// choose returns the closest reusable completed entry for p (plus its
+// normalized parameter distance, the SCHEDGREEDY score), or nil.
+func (g *registry) choose(p dbscan.Params, norm variant.Normalizer) (*completedEntry, float64) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	params := make([]dbscan.Params, len(g.completed))
@@ -256,10 +273,10 @@ func (g *registry) choose(p dbscan.Params, norm variant.Normalizer) *completedEn
 	}
 	idx := core.ChooseSource(p, params, norm)
 	if idx < 0 {
-		return nil
+		return nil, 0
 	}
 	e := g.completed[idx]
-	return &e
+	return &e, norm.Dist(p, e.params)
 }
 
 // order builds the execution queue for the chosen strategy over a canonical
@@ -379,13 +396,56 @@ func ExecuteContext(ctx context.Context, ix *dbscan.Index, vs []variant.Variant,
 		return v, true
 	}
 
+	// start is the run's single monotonic basis: every VariantResult offset
+	// and every trace event measures time.Since(start), so spans from
+	// different workers order correctly against each other.
 	start := time.Now()
+	tr := opt.Tracer
+	if tr != nil {
+		names := make([]string, len(vs))
+		for _, v := range vs {
+			names[v.ID] = v.Params.String()
+		}
+		tr.StartRun(start, opt.Strategy.String(), names)
+		runRec := tr.Worker(-1)
+		for pos, v := range queue {
+			runRec.Event(obs.KindQueued, int32(v.ID), int64(pos), 0)
+		}
+	}
+
+	// prog serializes Progress callbacks and maintains the running reuse
+	// mean; one short critical section per variant completion.
+	var prog struct {
+		sync.Mutex
+		done    int
+		fracSum float64
+	}
+	reportProgress := func(vr *VariantResult) {
+		if opt.Progress == nil {
+			return
+		}
+		prog.Lock()
+		defer prog.Unlock()
+		prog.done++
+		prog.fracSum += vr.Stats.FractionReused
+		opt.Progress(obs.ProgressEvent{
+			Done:               prog.done,
+			Total:              len(vs),
+			Variant:            vr.Variant.ID,
+			Source:             vr.SourceID,
+			Worker:             vr.Worker,
+			FractionReused:     vr.Stats.FractionReused,
+			MeanFractionReused: prog.fracSum / float64(prog.done),
+			Elapsed:            vr.End,
+		})
+	}
 	var wg sync.WaitGroup
 	errs := make([]error, threads)
 	for w := 0; w < threads; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
+			rec := tr.Worker(worker) // nil recorder when tracing is off
 			for {
 				v, ok := take()
 				if !ok {
@@ -393,28 +453,43 @@ func ExecuteContext(ctx context.Context, ix *dbscan.Index, vs []variant.Variant,
 					// ctx canceled): donate this worker to the running
 					// variants' intra-variant pools instead of parking.
 					if pool != nil {
-						pool.donate()
+						pool.donate(rec)
 					}
 					return
 				}
 				vr := VariantResult{Variant: v, Worker: worker, SourceID: -1}
 				vr.Start = time.Since(start)
+				rec.Event(obs.KindStarted, int32(v.ID), 0, 0)
 
 				var prev *cluster.Result
 				if !opt.DisableReuse && !scratchOnly[v.ID] {
 					var e *completedEntry
+					var dist float64
 					if opt.Strategy == SchedTree {
 						if pid, ok := treeParent[v.ID]; ok && pid >= 0 {
-							e = reg.byID(pid)
+							if e = reg.byID(pid); e != nil {
+								dist = norm.Dist(v.Params, e.params)
+							}
 						}
 					}
 					if e == nil {
-						e = reg.choose(v.Params, norm)
+						e, dist = reg.choose(v.Params, norm)
 					}
 					if e != nil {
 						prev = e.result
 						vr.SourceID = e.id
+						rec.Event(obs.KindSeedSelected, int32(v.ID), int64(e.id), dist)
 					}
+				}
+				// With tracing on, the variant runs against its own counter
+				// set so its work delta is exact even while other variants
+				// accumulate concurrently; the delta is folded into the
+				// run-wide totals afterwards, leaving them unchanged.
+				vmet := opt.Metrics
+				var own *metrics.Counters
+				if tr != nil {
+					own = new(metrics.Counters)
+					vmet = own
 				}
 				var res *cluster.Result
 				var stats core.Stats
@@ -430,11 +505,11 @@ func ExecuteContext(ctx context.Context, ix *dbscan.Index, vs []variant.Variant,
 					if w < 1 {
 						w = 1
 					}
-					popt := dbscan.ParallelOptions{Workers: w}
+					popt := dbscan.ParallelOptions{Workers: w, Rec: rec, Variant: int32(v.ID)}
 					if pool != nil {
 						popt.Helper = pool
 					}
-					res, err = dbscan.RunParallelOpts(ctx, ix, v.Params, popt, opt.Metrics)
+					res, err = dbscan.RunParallelOpts(ctx, ix, v.Params, popt, vmet)
 					stats = core.Stats{FromScratch: true}
 					if pool != nil {
 						pool.variantFinished()
@@ -444,10 +519,14 @@ func ExecuteContext(ctx context.Context, ix *dbscan.Index, vs []variant.Variant,
 						pool.variantStarted()
 					}
 					res, stats, err = core.RunOpts(ix, v.Params, prev,
-						core.Options{Scheme: opt.Scheme, MinSeedSize: opt.MinSeedSize}, opt.Metrics)
+						core.Options{Scheme: opt.Scheme, MinSeedSize: opt.MinSeedSize,
+							Rec: rec, Variant: int32(v.ID)}, vmet)
 					if pool != nil {
 						pool.variantFinished()
 					}
+				}
+				if own != nil {
+					opt.Metrics.AddSnapshot(own.Snapshot())
 				}
 				if err != nil {
 					if ctx.Err() != nil {
@@ -465,6 +544,8 @@ func ExecuteContext(ctx context.Context, ix *dbscan.Index, vs []variant.Variant,
 				vr.End = time.Since(start)
 				reg.publish(completedEntry{params: v.Params, id: v.ID, result: res})
 				results[v.ID] = vr
+				rec.Done(int32(v.ID), int64(vr.SourceID), stats.FractionReused, own.Snapshot())
+				reportProgress(&vr)
 			}
 		}(w)
 	}
@@ -482,6 +563,7 @@ func ExecuteContext(ctx context.Context, ix *dbscan.Index, vs []variant.Variant,
 	for _, r := range results {
 		rr.TotalWork += r.Duration()
 	}
+	tr.EndRun(rr.Makespan)
 	return rr, nil
 }
 

@@ -3,13 +3,16 @@ package sched
 import (
 	"context"
 	"errors"
+	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"vdbscan/internal/cluster"
 	"vdbscan/internal/dbscan"
 	"vdbscan/internal/geom"
 	"vdbscan/internal/metrics"
+	"vdbscan/internal/obs"
 	"vdbscan/internal/reuse"
 	"vdbscan/internal/variant"
 )
@@ -548,5 +551,184 @@ func TestExecuteTwoLevelManyVariantsFewThreads(t *testing.T) {
 		if r.Result == nil {
 			t.Fatalf("variant %d has no result", vi)
 		}
+	}
+}
+
+// TestSpansShareMonotonicBasis pins the documented clock contract of
+// VariantResult.Start/End: all offsets are time.Since measurements against
+// the single run-start instant (Go's monotonic clock), so regardless of
+// worker interleaving every span is non-negative, well-ordered, and nested
+// within [0, Makespan].
+func TestSpansShareMonotonicBasis(t *testing.T) {
+	ix := testIndex(t)
+	vs := variant.Product([]float64{0.4, 0.8, 1.2}, []int{4, 8, 12, 16})
+	for _, threads := range []int{1, 4, 8} {
+		rr, err := Execute(ix, vs, Options{Threads: threads, Scheme: reuse.ClusDensity})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rr.Results {
+			if r.Start < 0 {
+				t.Fatalf("T=%d v%d: Start %v < 0", threads, r.Variant.ID, r.Start)
+			}
+			if r.Duration() < 0 {
+				t.Fatalf("T=%d v%d: Duration %v < 0 (End %v before Start %v)",
+					threads, r.Variant.ID, r.Duration(), r.End, r.Start)
+			}
+			if r.End > rr.Makespan {
+				t.Fatalf("T=%d v%d: End %v exceeds Makespan %v",
+					threads, r.Variant.ID, r.End, rr.Makespan)
+			}
+		}
+	}
+}
+
+// TestTracedRunMatchesUntraced is the equivalence property under tracing:
+// attaching a tracer must not change a single label — and the tracer must
+// come back with a complete account (one started + one done per variant,
+// seed-selected events consistent with SourceID, per-variant work deltas
+// summing to the run totals).
+func TestTracedRunMatchesUntraced(t *testing.T) {
+	ix := testIndex(t)
+	vs := variant.Product([]float64{0.4, 0.8, 1.2}, []int{4, 8, 12, 16})
+	for _, threads := range []int{1, 3} {
+		plain, err := Execute(ix, vs, Options{Threads: threads, Scheme: reuse.ClusDensity})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := obs.NewTracer()
+		var m metrics.Counters
+		traced, err := Execute(ix, vs, Options{
+			Threads: threads, Scheme: reuse.ClusDensity, Tracer: tr, Metrics: &m,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := range plain.Results {
+			a, b := plain.Results[id].Result, traced.Results[id].Result
+			if a.NumClusters != b.NumClusters {
+				t.Fatalf("T=%d v%d: clusters %d vs %d", threads, id, b.NumClusters, a.NumClusters)
+			}
+			for i := range a.Labels {
+				if a.Labels[i] != b.Labels[i] {
+					t.Fatalf("T=%d v%d: label[%d] = %d with tracing, %d without",
+						threads, id, i, b.Labels[i], a.Labels[i])
+				}
+			}
+		}
+
+		started := map[int32]int{}
+		done := map[int32]int{}
+		var workSum metrics.Snapshot
+		for _, e := range tr.Events() {
+			switch e.Kind {
+			case obs.KindStarted:
+				started[e.Variant]++
+			case obs.KindDone:
+				done[e.Variant]++
+				workSum = workSum.Add(e.Work)
+				if want := int64(traced.Results[e.Variant].SourceID); e.Arg != want {
+					t.Fatalf("T=%d v%d: done source %d, result SourceID %d", threads, e.Variant, e.Arg, want)
+				}
+				if e.F != traced.Results[e.Variant].Stats.FractionReused {
+					t.Fatalf("T=%d v%d: done frac %v, stats %v",
+						threads, e.Variant, e.F, traced.Results[e.Variant].Stats.FractionReused)
+				}
+			}
+		}
+		for _, v := range vs {
+			id := int32(v.ID)
+			if started[id] != 1 || done[id] != 1 {
+				t.Fatalf("T=%d v%d: started %d done %d, want 1/1", threads, id, started[id], done[id])
+			}
+		}
+		// Per-variant deltas must partition the run totals exactly.
+		if total := m.Snapshot(); workSum != total {
+			t.Fatalf("T=%d: per-variant work deltas sum to %+v, run totals %+v", threads, workSum, total)
+		}
+		if tr.Dropped() != 0 {
+			t.Fatalf("T=%d: %d events dropped on a small run", threads, tr.Dropped())
+		}
+	}
+}
+
+// TestTracedEventsNestWithinRun checks the trace-side clock contract: every
+// event offset lies within [0, makespan] and each variant's phase events
+// fall inside its started→done window.
+func TestTracedEventsNestWithinRun(t *testing.T) {
+	ix := testIndex(t)
+	vs := variant.Product([]float64{0.4, 0.9}, []int{4, 10, 16})
+	tr := obs.NewTracer()
+	rr, err := Execute(ix, vs, Options{
+		Threads: 4, Scheme: reuse.ClusDensity, Tracer: tr,
+		DonateIdle: true, // exercise donor join/leave events too
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := map[int32][2]time.Duration{}
+	for _, e := range tr.Events() {
+		if e.At < 0 || e.At > rr.Makespan {
+			t.Fatalf("event %v at %v outside [0, %v]", e.Kind, e.At, rr.Makespan)
+		}
+		switch e.Kind {
+		case obs.KindStarted:
+			window[e.Variant] = [2]time.Duration{e.At, -1}
+		case obs.KindDone:
+			w := window[e.Variant]
+			w[1] = e.At
+			window[e.Variant] = w
+		}
+	}
+	for _, e := range tr.Events() {
+		if e.Kind != obs.KindPhaseBegin && e.Kind != obs.KindPhaseEnd {
+			continue
+		}
+		w, ok := window[e.Variant]
+		if !ok || w[1] < 0 {
+			t.Fatalf("phase event for v%d without a complete started/done window", e.Variant)
+		}
+		if e.At < w[0] || e.At > w[1] {
+			t.Fatalf("v%d %v(%v) at %v outside its span [%v, %v]",
+				e.Variant, e.Kind, obs.Phase(e.Arg), e.At, w[0], w[1])
+		}
+	}
+}
+
+// TestProgressCallback: one serial event per variant, Done strictly
+// incrementing to |V|, running reuse mean consistent with the final result.
+func TestProgressCallback(t *testing.T) {
+	ix := testIndex(t)
+	vs := variant.Product([]float64{0.4, 0.8}, []int{4, 8, 12})
+	var events []obs.ProgressEvent
+	rr, err := Execute(ix, vs, Options{
+		Threads: 3, Scheme: reuse.ClusDensity,
+		Progress: func(e obs.ProgressEvent) { events = append(events, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(vs) {
+		t.Fatalf("got %d progress events, want %d", len(events), len(vs))
+	}
+	seen := map[int]bool{}
+	for i, e := range events {
+		if e.Done != i+1 {
+			t.Fatalf("event %d has Done=%d, want %d (serial delivery broken)", i, e.Done, i+1)
+		}
+		if e.Total != len(vs) {
+			t.Fatalf("event %d has Total=%d, want %d", i, e.Total, len(vs))
+		}
+		if seen[e.Variant] {
+			t.Fatalf("variant %d reported twice", e.Variant)
+		}
+		seen[e.Variant] = true
+		if e.Source != rr.Results[e.Variant].SourceID {
+			t.Fatalf("v%d: progress source %d, result %d", e.Variant, e.Source, rr.Results[e.Variant].SourceID)
+		}
+	}
+	last := events[len(events)-1]
+	if got, want := last.MeanFractionReused, rr.MeanFractionReused(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("final running mean %v, run mean %v", got, want)
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"vdbscan/internal/dbscan"
 	"vdbscan/internal/geom"
 	"vdbscan/internal/metrics"
+	"vdbscan/internal/obs"
 	"vdbscan/internal/quality"
 	"vdbscan/internal/reuse"
 	"vdbscan/internal/sched"
@@ -95,6 +96,23 @@ const (
 	SchedTree = sched.SchedTree
 )
 
+// Tracer records a clustering run's execution timeline: variant lifecycle
+// spans (queued → started → seed-selected → expand/scratch phases → done),
+// scheduler decisions, donor activity, and per-variant work deltas. Create
+// one with NewTracer, attach it with WithTracer, then export with
+// WriteChromeTrace (Chrome trace-event JSON, loadable in chrome://tracing
+// or https://ui.perfetto.dev) or WriteTimeline (plain text). A Tracer holds
+// one run; reusing it across runs keeps only the last. A nil *Tracer is
+// valid everywhere and disables tracing at zero cost.
+type Tracer = obs.Tracer
+
+// NewTracer returns an enabled execution tracer for WithTracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// ProgressEvent is one live progress report delivered to the WithProgress
+// callback after each variant completes.
+type ProgressEvent = obs.ProgressEvent
+
 // Option configures an Index or a clustering run.
 type Option func(*config)
 
@@ -110,6 +128,8 @@ type config struct {
 	disableReuse bool
 	noFlat       bool
 	work         *Work
+	tracer       *Tracer
+	progress     func(ProgressEvent)
 }
 
 func buildConfig(opts []Option) config {
@@ -188,6 +208,19 @@ func WithoutReuse() Option { return func(c *config) { c.disableReuse = true } }
 // WithWork records the run's accumulated work counters into w.
 func WithWork(w *Work) Option { return func(c *config) { c.work = w } }
 
+// WithTracer attaches an execution tracer to Cluster or ClusterVariants.
+// The tracer records structured span events at variant/phase granularity
+// (never per ε-search), so the clustering output and the hot-path
+// allocation behavior are identical with tracing on or off; a nil t is the
+// same as not passing the option.
+func WithTracer(t *Tracer) Option { return func(c *config) { c.tracer = t } }
+
+// WithProgress registers a live progress callback for ClusterVariants,
+// invoked serially after each variant completes with the variants-done
+// count and the running mean reuse fraction. The callback runs on worker
+// goroutines — keep it fast and non-blocking.
+func WithProgress(f func(ProgressEvent)) Option { return func(c *config) { c.progress = f } }
+
 // WithContext attaches a cancellation context to ClusterVariants: when ctx
 // is canceled, no further variants start and the run returns ctx's error.
 func WithContext(ctx context.Context) Option {
@@ -239,13 +272,28 @@ func (x *Index) Cluster(p Params, opts ...Option) (*Clustering, error) {
 	var m metrics.Counters
 	var res *cluster.Result
 	var err error
+	// A traced single-variant run is a one-variant schedule: the same span
+	// structure ClusterVariants emits, on worker 0, always from scratch.
+	start := time.Now()
+	c.tracer.StartRun(start, "single-variant", []string{p.String()})
+	rec := c.tracer.Worker(0)
+	rec.Event(obs.KindStarted, 0, 0, 0)
 	if width > 1 {
-		res, err = dbscan.RunParallelOpts(c.ctx, x.ix, p, dbscan.ParallelOptions{Workers: width}, &m)
+		res, err = dbscan.RunParallelOpts(c.ctx, x.ix, p,
+			dbscan.ParallelOptions{Workers: width, Rec: rec}, &m)
 	} else {
+		rec.PhaseBegin(0, obs.PhaseScratch)
 		res, err = dbscan.RunCtx(c.ctx, x.ix, p, &m)
+		rec.PhaseEnd(0, obs.PhaseScratch)
 	}
 	if err != nil {
 		return nil, err
+	}
+	rec.Done(0, -1, 0, m.Snapshot())
+	c.tracer.EndRun(time.Since(start))
+	if c.progress != nil {
+		c.progress(ProgressEvent{Done: 1, Total: 1, Variant: 0, Source: -1,
+			Elapsed: time.Since(start)})
 	}
 	if c.work != nil {
 		*c.work = c.work.Add(m.Snapshot())
@@ -270,7 +318,12 @@ type VariantResult struct {
 	SourceIndex int
 	// Worker identifies the pool worker that ran the variant.
 	Worker int
-	// Start and End are offsets from the beginning of the run.
+	// Start and End are offsets from the run's start instant — one
+	// time.Time captured when ClusterVariants begins, measured with
+	// time.Since and therefore derived from Go's monotonic clock. All
+	// workers (and any attached Tracer) share that basis, so spans from
+	// different workers order correctly against each other and nest within
+	// [0, VariantRun.Makespan] regardless of wall-clock adjustments.
 	Start, End time.Duration
 }
 
@@ -320,6 +373,8 @@ func (x *Index) ClusterVariants(params []Params, opts ...Option) (*VariantRun, e
 		IntraWorkers: c.intraThreads,
 		DonateIdle:   c.threads > 1 || c.intraThreads > 1,
 		Metrics:      &m,
+		Tracer:       c.tracer,
+		Progress:     c.progress,
 	})
 	if err != nil {
 		return nil, err

@@ -1,8 +1,11 @@
 package vdbscan
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -473,6 +476,150 @@ func TestClusterVariantsTwoLevel(t *testing.T) {
 			if q < 0.998 {
 				t.Fatalf("variant %d (%+v): quality = %g", i, vr.Params, q)
 			}
+		}
+	}
+}
+
+// TestWithTracerChromeTrace drives the public tracing API end to end: run a
+// variant set with a tracer attached, export Chrome trace JSON, and check
+// the ISSUE acceptance shape — valid JSON with one lifecycle span per
+// variant carrying seed-source and reuse-fraction annotations.
+func TestWithTracerChromeTrace(t *testing.T) {
+	pts := testPoints(t, 4000)
+	params := CartesianVariants([]float64{2, 3, 4}, []int{4, 8})
+	tr := NewTracer()
+	run, err := ClusterVariants(pts, params, WithThreads(3), WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	spans := map[int]map[string]any{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Pid == 2 && e.Args["fraction_reused"] != nil {
+			spans[e.Tid] = e.Args
+		}
+	}
+	if len(spans) != len(params) {
+		t.Fatalf("got %d variant lifecycle spans, want %d", len(spans), len(params))
+	}
+	for i, r := range run.Results {
+		args := spans[i]
+		if args == nil {
+			t.Fatalf("variant %d has no lifecycle span", i)
+		}
+		if got := int(args["seed_source"].(float64)); got != r.SourceIndex {
+			t.Errorf("variant %d: trace seed_source %d, result %d", i, got, r.SourceIndex)
+		}
+		if got := args["fraction_reused"].(float64); got != r.FractionReused {
+			t.Errorf("variant %d: trace fraction_reused %v, result %v", i, got, r.FractionReused)
+		}
+	}
+	buf.Reset()
+	if err := tr.WriteTimeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "6 variants done") {
+		t.Errorf("timeline header missing variant count:\n%s", buf.String())
+	}
+}
+
+// TestTracedVariantsByteIdentical is the acceptance criterion that tracing
+// changes nothing: pointer-tree and flat-tree runs with a tracer attached
+// must match an untraced flat run label for label.
+func TestTracedVariantsByteIdentical(t *testing.T) {
+	pts := testPoints(t, 4000)
+	params := CartesianVariants([]float64{2, 3.5}, []int{4, 8, 12})
+	base, err := ClusterVariants(pts, params, WithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, opts := range map[string][]Option{
+		"flat+tracer":    {WithThreads(2), WithTracer(NewTracer())},
+		"pointer+tracer": {WithThreads(2), WithTracer(NewTracer()), WithFlatIndex(false)},
+		"nil-tracer":     {WithThreads(2), WithTracer(nil)},
+	} {
+		run, err := ClusterVariants(pts, params, opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range base.Results {
+			a, b := base.Results[i].Clustering, run.Results[i].Clustering
+			if a.NumClusters != b.NumClusters {
+				t.Fatalf("%s variant %d: %d clusters, want %d", name, i, b.NumClusters, a.NumClusters)
+			}
+			for j := range a.Labels {
+				if a.Labels[j] != b.Labels[j] {
+					t.Fatalf("%s variant %d: label[%d] = %d, want %d", name, i, j, b.Labels[j], a.Labels[j])
+				}
+			}
+		}
+	}
+}
+
+// TestWithProgressDelivery: the public progress callback fires once per
+// variant, serially, with Done counting 1..n.
+func TestWithProgressDelivery(t *testing.T) {
+	pts := testPoints(t, 3000)
+	params := CartesianVariants([]float64{2, 3}, []int{4, 8})
+	var events []ProgressEvent
+	_, err := ClusterVariants(pts, params, WithThreads(2),
+		WithProgress(func(e ProgressEvent) { events = append(events, e) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(params) {
+		t.Fatalf("got %d progress events, want %d", len(events), len(params))
+	}
+	for i, e := range events {
+		if e.Done != i+1 || e.Total != len(params) {
+			t.Fatalf("event %d: Done=%d Total=%d, want %d/%d", i, e.Done, e.Total, i+1, len(params))
+		}
+		if e.Elapsed < 0 {
+			t.Fatalf("event %d: negative Elapsed %v", i, e.Elapsed)
+		}
+	}
+}
+
+// TestClusterSingleVariantTraced: the single-variant Cluster path also
+// produces a complete one-span trace, sequential or parallel.
+func TestClusterSingleVariantTraced(t *testing.T) {
+	pts := testPoints(t, 3000)
+	for name, opts := range map[string][]Option{
+		"sequential": nil,
+		"parallel":   {WithIntraThreads(3)},
+	} {
+		tr := NewTracer()
+		var got ProgressEvent
+		all := append([]Option{WithTracer(tr), WithProgress(func(e ProgressEvent) { got = e })}, opts...)
+		if _, err := Cluster(pts, Params{Eps: 3, MinPts: 4}, all...); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !json.Valid(buf.Bytes()) {
+			t.Fatalf("%s: trace not valid JSON", name)
+		}
+		if !strings.Contains(buf.String(), "fraction_reused") {
+			t.Errorf("%s: no lifecycle span in trace", name)
+		}
+		if got.Done != 1 || got.Total != 1 {
+			t.Errorf("%s: progress %d/%d, want 1/1", name, got.Done, got.Total)
 		}
 	}
 }
