@@ -6,6 +6,14 @@
 // monitor reports cluster structure and update latency after every batch,
 // and periodically audits the incremental state against a batch run over
 // the same live window.
+//
+// The clusterer keeps its ε-searches on the frozen flat index across the
+// stream: mutations stage in a delta overlay, and once the overlay
+// crosses WithRefreezeThreshold the index re-freezes in the background
+// (epoch-based maintenance). The per-batch "rfz" column and the final
+// stats line surface that machinery; "stale" must stay 0 — a nonzero
+// count means a search found the snapshot unaccounted for and had to
+// fall back to the slow pointer tree.
 package main
 
 import (
@@ -26,15 +34,15 @@ const (
 
 func main() {
 	params := vdbscan.Params{Eps: 2.5, MinPts: 8}
-	inc, err := vdbscan.NewIncremental(params)
+	inc, err := vdbscan.NewIncremental(params, vdbscan.WithRefreezeThreshold(256))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("sliding-window monitor: %d batches x %d obs, window %d, params %v\n\n",
 		batches, perBatch, windowSize, params)
-	fmt.Printf("%6s %7s %9s %8s %10s %9s  %s\n",
-		"batch", "live", "clusters", "noise", "latency", "dominant", "audit")
+	fmt.Printf("%6s %7s %9s %8s %10s %9s %5s %7s  %s\n",
+		"batch", "live", "clusters", "noise", "latency", "dominant", "rfz", "overlay", "audit")
 
 	var history []vdbscan.Point // every inserted point, in insertion order
 	oldest := 0                 // next insertion index to expire
@@ -86,10 +94,17 @@ func main() {
 			}
 			audit = fmt.Sprintf("quality=%.4f", q)
 		}
-		fmt.Printf("%6d %7d %9d %8d %10s %9d  %s\n",
+		st := inc.RefreezeStats()
+		fmt.Printf("%6d %7d %9d %8d %10s %9d %5d %7d  %s\n",
 			batch, inc.LiveLen(), res.NumClusters, liveNoise,
-			latency.Round(time.Millisecond), dominant, audit)
+			latency.Round(time.Millisecond), dominant,
+			st.Refreezes, st.OverlayAdded+st.OverlayDeleted, audit)
 	}
+	inc.FlushRefreeze()
+	st := inc.RefreezeStats()
+	fmt.Printf("\nrefreeze stats: refreezes=%d frozen=%d overlay=+%d/-%d stale=%d gen=%d\n",
+		st.Refreezes, st.FrozenPoints, st.OverlayAdded, st.OverlayDeleted,
+		st.StaleFallbacks, st.Generation)
 	fmt.Println("\nthe audit compares the incremental state against a fresh batch run")
 	fmt.Println("over the same live window (1.0 = identical partitions).")
 }

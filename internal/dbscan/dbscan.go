@@ -16,6 +16,7 @@ package dbscan
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"vdbscan/internal/cluster"
@@ -53,8 +54,20 @@ type Index struct {
 	// THigh (rtree.Flat). When non-nil — the default — every search goes
 	// through them; the pointer trees remain the build/mutate path and
 	// the fallback when flat indexing is disabled.
+	//
+	// The flat views are generational snapshots: each records the source
+	// tree's generation at freeze time, and searches only trust a view
+	// whose generation gap is fully accounted for by the staged overlay
+	// (see Insert). A view that has fallen behind in any other way — a
+	// caller mutating TLow/THigh directly — is never consulted; searches
+	// silently fall back to the pointer trees, which are always current.
 	FlatLow  *rtree.Flat
 	FlatHigh *rtree.Flat
+
+	// ov stages post-Freeze insertions so the frozen views stay usable:
+	// searches merge the flat results with this delta instead of
+	// abandoning the fast path. Re-freezing folds it into fresh views.
+	ov rtree.Overlay
 }
 
 // IndexOptions configures BuildIndex.
@@ -107,8 +120,10 @@ func BuildIndex(pts []geom.Point, opt IndexOptions) *Index {
 // pair of SoA coordinate slices, then a Compact per tree). BuildIndex
 // calls it unless IndexOptions.NoFlat; callers that assemble an Index by
 // hand (ablations, incremental re-indexing) may call it themselves.
+// Re-freezing after Insert folds the staged overlay into the fresh views
+// and resets it.
 func (ix *Index) Freeze() {
-	if ix.X == nil {
+	if ix.X == nil || len(ix.X) < len(ix.Pts) {
 		ix.X = make([]float64, len(ix.Pts))
 		ix.Y = make([]float64, len(ix.Pts))
 		for i, p := range ix.Pts {
@@ -119,6 +134,82 @@ func (ix *Index) Freeze() {
 	if ix.THigh != nil {
 		ix.FlatHigh = ix.THigh.CompactWithCoords(ix.X, ix.Y)
 	}
+	ix.ov.Reset()
+}
+
+// ErrDeleteUnsupported is returned by Index.Delete: every execution path
+// (Run, RunParallel, VariantDBSCAN) scans the full point array, so a
+// removed point would need tombstone handling through all of them.
+// Streaming deletions are the job of internal/incremental's Clusterer,
+// which owns a dynamic tree plus the same generational overlay machinery.
+var ErrDeleteUnsupported = errors.New(
+	"dbscan: Index does not support deletion; use the incremental clusterer for delete-capable streaming")
+
+// Insert appends p to the index in sorted index space and returns its
+// index; its caller-order (Fwd) position is appended equal to it, so
+// Remap keeps working with post-build insertions ordered after the
+// original points. This is the post-Freeze mutation API: the pointer
+// trees are updated in place and the insertion is staged in the overlay,
+// so frozen flat views keep serving searches (merged with the overlay
+// delta) instead of being invalidated wholesale. The generation
+// accounting guarantees a mutated index can never serve results from a
+// stale snapshot alone: if the overlay ever fails to cover the trees'
+// generation gap, searches abandon the flat views entirely.
+//
+// Call Freeze after a batch of insertions to fold the overlay into fresh
+// flat views and restore the zero-merge-cost fast path. Note inserted
+// points are not grid-sorted, so heavy insertion without re-freezing
+// degrades search locality (never correctness).
+func (ix *Index) Insert(p geom.Point) int {
+	idx := len(ix.Pts)
+	ix.Pts = append(ix.Pts, p)
+	ix.Fwd = append(ix.Fwd, idx)
+	if ix.X != nil {
+		ix.X = append(ix.X, p.X)
+		ix.Y = append(ix.Y, p.Y)
+	}
+	ix.TLow.InsertIndexed(ix.Pts, int32(idx))
+	if ix.THigh != nil {
+		ix.THigh.InsertIndexed(ix.Pts, int32(idx))
+	}
+	if ix.FlatLow != nil {
+		ix.ov.RecordInsert(int32(idx))
+	}
+	return idx
+}
+
+// Delete always returns ErrDeleteUnsupported (see the error's doc).
+func (ix *Index) Delete(int) error { return ErrDeleteUnsupported }
+
+// Overlay exposes the staged post-Freeze insertion delta (read-only).
+func (ix *Index) Overlay() *rtree.Overlay { return &ix.ov }
+
+// flatLowCurrent reports how to search T_low: the flat view alone
+// (fresh), the flat view merged with the overlay (every tree mutation
+// staged), or neither (stale — pointer fallback).
+func (ix *Index) flatLowCurrent() (fresh, overlaid bool) {
+	f := ix.FlatLow
+	if f == nil {
+		return false, false
+	}
+	gap := ix.TLow.Generation() - f.Generation()
+	if gap == 0 {
+		return true, false
+	}
+	return false, ix.ov.Muts() == gap
+}
+
+// flatHighCurrent is flatLowCurrent for T_high.
+func (ix *Index) flatHighCurrent() (fresh, overlaid bool) {
+	f := ix.FlatHigh
+	if f == nil || ix.THigh == nil {
+		return false, false
+	}
+	gap := ix.THigh.Generation() - f.Generation()
+	if gap == 0 {
+		return true, false
+	}
+	return false, ix.ov.Muts() == gap
 }
 
 // Len returns the number of indexed points.
@@ -162,8 +253,11 @@ func (ix *Index) NeighborSearchLocal(p geom.Point, eps float64, l *metrics.Local
 // across calls); the pointer path remains as the NoFlat fallback and
 // produces byte-identical output.
 func (ix *Index) neighborSearch(p geom.Point, eps float64, dst []int32) (out []int32, candidates, nodes int64) {
-	if ix.FlatLow != nil {
+	if fresh, overlaid := ix.flatLowCurrent(); fresh {
 		out, c, n := ix.FlatLow.EpsSearch(p, eps, dst)
+		return out, int64(c), int64(n)
+	} else if overlaid {
+		out, c, n := rtree.EpsSearchOverlay(ix.FlatLow, ix.Pts, p, eps, dst, &ix.ov)
 		return out, int64(c), int64(n)
 	}
 	q := geom.QueryMBB(p, eps)
@@ -185,8 +279,11 @@ func (ix *Index) neighborSearch(p geom.Point, eps float64, dst []int32) (out []i
 // cluster-MBB sweep of VariantDBSCAN (Algorithm 3, line 11). It routes
 // through the flat tree when available.
 func (ix *Index) HighCandidates(q geom.MBB, dst []int32) (out []int32, nodes int64) {
-	if ix.FlatHigh != nil {
+	if fresh, overlaid := ix.flatHighCurrent(); fresh {
 		out, n := ix.FlatHigh.SearchCandidates(q, dst)
+		return out, int64(n)
+	} else if overlaid {
+		out, n := rtree.SearchCandidatesOverlay(ix.FlatHigh, ix.Pts, q, dst, &ix.ov)
 		return out, int64(n)
 	}
 	n := ix.THigh.Search(q, func(lr rtree.LeafRange) {

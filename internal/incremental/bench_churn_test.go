@@ -1,0 +1,63 @@
+package incremental
+
+import (
+	"testing"
+
+	"vdbscan/internal/dbscan"
+	"vdbscan/internal/geom"
+	"vdbscan/internal/tec"
+)
+
+// BenchmarkWindow measures sliding-window streaming throughput — the
+// EXPERIMENTS.md "streaming churn" row. Each iteration streams 8 TEC
+// batches of 1500 observations through the clusterer, expiring the
+// oldest insertions to hold a 6000-point live window, so batches 4+ are
+// the delete-heavy steady state.
+//
+// Pointer is the pre-epoch configuration (every ε-search on the dynamic
+// pointer tree); Epoch is the overlay+refreeze path. On a single CPU the
+// background compactions compete with the mutator, so Epoch ≈ Pointer
+// there; with a spare core the compactions are free and the flat scans
+// win outright.
+
+func windowBatch(b *testing.B, batch int) []geom.Point {
+	b.Helper()
+	ds, err := tec.Simulate(tec.Config{
+		N: 1500, Seed: 99, Time: float64(batch) * 0.25, Name: "bench",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds.Points
+}
+
+func benchWindow(b *testing.B, o Options) {
+	params := dbscan.Params{Eps: 2.5, MinPts: 8}
+	batches := make([][]geom.Point, 8)
+	for i := range batches {
+		batches[i] = windowBatch(b, i)
+	}
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		c, err := NewWithOptions(params, nil, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		oldest := 0
+		for _, pts := range batches {
+			c.InsertBatch(pts)
+			for c.LiveLen() > 6000 {
+				if err := c.Delete(oldest); err != nil {
+					b.Fatal(err)
+				}
+				oldest++
+			}
+		}
+		if st := c.RefreezeStats(); !o.DisableFlat && st.StaleFallbacks != 0 {
+			b.Fatalf("stale fallbacks during benchmark churn: %+v", st)
+		}
+	}
+}
+
+func BenchmarkWindowPointer(b *testing.B) { benchWindow(b, Options{DisableFlat: true}) }
+func BenchmarkWindowEpoch(b *testing.B)   { benchWindow(b, Options{RefreezeThreshold: 256}) }

@@ -26,6 +26,12 @@ import (
 //
 // Labels() keeps one entry per insertion; deleted points report Noise.
 func (c *Clusterer) Delete(i int) error {
+	err := c.delete(i)
+	c.maybeRefreeze()
+	return err
+}
+
+func (c *Clusterer) delete(i int) error {
 	if i < 0 || i >= c.Len() {
 		return fmt.Errorf("incremental: index %d out of range [0,%d)", i, c.Len())
 	}
@@ -43,6 +49,7 @@ func (c *Clusterer) Delete(i int) error {
 	if !found {
 		return fmt.Errorf("incremental: point %d not in tree", i)
 	}
+	c.recordDelete(int32(i))
 	c.markDeleted(i)
 
 	// Neighbor counts drop; collect demotions.
@@ -69,24 +76,42 @@ func (c *Clusterer) Delete(i int) error {
 
 	// Affected clusters: the deleted point's, plus every cluster touching
 	// a demoted core's neighborhood (their border points may lose support).
-	affectedClusters := map[int32]bool{}
+	// There are almost always 1–3 of them, so a small slice with a linear
+	// membership scan beats a map — the scan below tests every live point.
+	var affected []int32
+	addAffected := func(l int32) {
+		for _, a := range affected {
+			if a == l {
+				return
+			}
+		}
+		affected = append(affected, l)
+	}
 	if oldLabel > 0 {
-		affectedClusters[oldLabel] = true
+		addAffected(oldLabel)
 	}
 	var scratch []int32
 	for _, d := range demoted {
 		if l := c.resolve(c.rawLabels[d]); l > 0 {
-			affectedClusters[l] = true
+			addAffected(l)
 		}
 		scratch = c.neighbors(c.tree.Points()[d], scratch[:0])
 		for _, k := range scratch {
 			if l := c.resolve(c.rawLabels[k]); l > 0 {
-				affectedClusters[l] = true
+				addAffected(l)
 			}
 		}
 	}
-	if len(affectedClusters) == 0 {
+	if len(affected) == 0 {
 		return nil
+	}
+	isAffected := func(l int32) bool {
+		for _, a := range affected {
+			if a == l {
+				return true
+			}
+		}
+		return false
 	}
 
 	// Collect live members of affected clusters and clear their labels.
@@ -95,7 +120,7 @@ func (c *Clusterer) Delete(i int) error {
 		if c.deleted(j) {
 			continue
 		}
-		if l := c.resolve(c.rawLabels[j]); l > 0 && affectedClusters[l] {
+		if l := c.resolve(c.rawLabels[j]); l > 0 && isAffected(l) {
 			members = append(members, int32(j))
 			c.rawLabels[j] = cluster.Unclassified
 		}
@@ -104,28 +129,35 @@ func (c *Clusterer) Delete(i int) error {
 	// Local DBSCAN over the affected set. Core flags are current; only
 	// connectivity must be rebuilt. Each connected core component gets a
 	// fresh cluster id; border members attach to any adjacent core.
-	inSet := map[int32]bool{}
-	for _, j := range members {
-		inSet[j] = true
+	// Membership and visit marks live in epoch-stamped scratch arrays on
+	// the Clusterer (see markGen) — the repair path runs per delete, and
+	// allocating two maps per run dominated its profile.
+	c.markGen++
+	gen := c.markGen
+	for len(c.markIn) < c.Len() {
+		c.markIn = append(c.markIn, 0)
+		c.markVis = append(c.markVis, 0)
 	}
-	visited := map[int32]bool{}
 	for _, j := range members {
-		if visited[j] || !c.core[j] {
+		c.markIn[j] = gen
+	}
+	for _, j := range members {
+		if c.markVis[j] == gen || !c.core[j] {
 			continue
 		}
 		id := c.newCluster()
 		queue := []int32{j}
-		visited[j] = true
+		c.markVis[j] = gen
 		for qi := 0; qi < len(queue); qi++ {
 			u := queue[qi]
 			c.rawLabels[u] = id
 			scratch = c.neighbors(c.tree.Points()[u], scratch[:0])
 			for _, k := range scratch {
-				if !inSet[k] {
+				if c.markIn[k] != gen {
 					continue // other clusters are unaffected by deletions
 				}
-				if c.core[k] && !visited[k] {
-					visited[k] = true
+				if c.core[k] && c.markVis[k] != gen {
+					c.markVis[k] = gen
 					queue = append(queue, k)
 				} else if !c.core[k] && c.rawLabels[k] == cluster.Unclassified {
 					c.rawLabels[k] = id // border attachment

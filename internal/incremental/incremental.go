@@ -43,6 +43,16 @@ type Clusterer struct {
 	params dbscan.Params
 	tree   *rtree.Tree
 	m      *metrics.Counters
+	opts   Options
+
+	// snap is the generational flat snapshot + overlay pair every
+	// ε-search routes through once the first freeze lands (snapshot.go);
+	// the pointer tree remains the mutation path and the stale fallback.
+	snap       epochState
+	refreezing bool
+	refreezeCh chan *rtree.Flat
+	refreezes  int
+	staleFalls int64
 
 	// counts[i] = |N_ε(i)| including i itself.
 	counts []int32
@@ -56,19 +66,35 @@ type Clusterer struct {
 	// dead marks removed insertions; liveCount = Len() - removed.
 	dead      []bool
 	liveCount int
+
+	// Delete-repair scratch: epoch-stamped membership marks reused across
+	// deletes. markIn[i]/markVis[i] == markGen means "in the affected set" /
+	// "visited by the repair BFS" for the current delete — profiling showed
+	// per-delete maps for those two sets dominating the repair hot path.
+	markIn  []int32
+	markVis []int32
+	markGen int32
 }
 
-// New returns an empty incremental clusterer. m may be nil.
+// New returns an empty incremental clusterer with default Options.
+// m may be nil.
 func New(p dbscan.Params, m *metrics.Counters) (*Clusterer, error) {
+	return NewWithOptions(p, m, Options{})
+}
+
+// NewWithOptions is New with epoch-maintenance options.
+func NewWithOptions(p dbscan.Params, m *metrics.Counters, o Options) (*Clusterer, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	return &Clusterer{
-		params: p,
-		tree:   rtree.New(rtree.Options{}),
-		m:      m,
-		dsu:    unionfind.NewDSU(64),
-		dsuCap: 64,
+		params:     p,
+		tree:       rtree.New(rtree.Options{}),
+		m:          m,
+		opts:       o.withDefaults(),
+		refreezeCh: make(chan *rtree.Flat, 1),
+		dsu:        unionfind.NewDSU(64),
+		dsuCap:     64,
 	}, nil
 }
 
@@ -82,8 +108,25 @@ func (c *Clusterer) LiveLen() int { return c.liveCount }
 func (c *Clusterer) Params() dbscan.Params { return c.params }
 
 // neighbors returns indices of points within ε of q (including q when
-// indexed), distance-filtered from the dynamic tree's candidates.
+// indexed). The fast path merges the frozen flat snapshot with the
+// staged overlay deltas; the dynamic pointer tree serves before the
+// first freeze, when flat indexing is disabled, and as the fallback
+// whenever the snapshot's generation is not fully accounted for by the
+// overlays (a stale snapshot must never answer alone).
 func (c *Clusterer) neighbors(q geom.Point, dst []int32) []int32 {
+	c.pollRefreeze(false)
+	if f := c.snap.flat; f != nil {
+		if f.Generation()+c.snap.pending.Muts()+c.snap.ov.Muts() == c.tree.Generation() {
+			out, cand, nodes := rtree.EpsSearchOverlay(
+				f, c.tree.Points(), q, c.params.Eps, dst,
+				&c.snap.pending, &c.snap.ov)
+			c.m.AddNeighborSearches(1)
+			c.m.AddCandidatesExamined(int64(cand))
+			c.m.AddNodesVisited(int64(nodes))
+			return out
+		}
+		c.staleFalls++
+	}
 	epsSq := c.params.Eps * c.params.Eps
 	box := geom.QueryMBB(q, c.params.Eps)
 	pts := c.tree.Points()
@@ -130,8 +173,16 @@ func (c *Clusterer) resolve(raw int32) int32 {
 
 // Insert adds point p and updates the clustering.
 func (c *Clusterer) Insert(p geom.Point) {
+	c.insert(p)
+	// Trigger the epoch check after the clustering update so a re-freeze
+	// clone never captures a half-applied insertion.
+	c.maybeRefreeze()
+}
+
+func (c *Clusterer) insert(p geom.Point) {
 	idx := int32(c.Len())
 	c.tree.Insert(p)
+	c.recordInsert(idx)
 	c.counts = append(c.counts, 0)
 	c.core = append(c.core, false)
 	c.rawLabels = append(c.rawLabels, cluster.Unclassified)

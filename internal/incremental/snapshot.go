@@ -1,0 +1,245 @@
+package incremental
+
+import (
+	"vdbscan/internal/obs"
+	"vdbscan/internal/rtree"
+)
+
+// This file is the epoch-based (generational) index-maintenance layer of
+// the incremental clusterer. The PR-2 flat index made every ε-search a
+// zero-allocation scan over frozen struct-of-arrays — but only for a
+// static dataset. Streaming inserts and deletes mutate the dynamic
+// pointer tree, and before this layer existed they silently bypassed the
+// flat fast path entirely.
+//
+// The design keeps one immutable rtree.Flat snapshot hot while mutations
+// stage in a small rtree.Overlay delta:
+//
+//	search(q) = flat results − overlay deletions + overlay insertions
+//
+// Every tree mutation bumps the tree's generation; the snapshot records
+// the generation it froze at. The identity
+//
+//	flat.Generation() + pending.Muts() + ov.Muts() == tree.Generation()
+//
+// therefore holds exactly when the overlays are a complete delta. If it
+// ever fails (an out-of-band tree mutation), the snapshot is stale and
+// searches fall back to the pointer tree — slower, never wrong.
+//
+// Once the active overlay crosses a size/ratio threshold, the clusterer
+// re-freezes in the background: it takes a structural clone of the tree
+// (cheap, and immune to further mutations), compacts the clone on a
+// separate goroutine, and keeps serving from the old snapshot plus BOTH
+// overlay segments — `pending` (mutations the clone already covers) and
+// the fresh active overlay — until the new Flat arrives. Installing it
+// is a copy-on-write swap on the owning goroutine between searches, so
+// in-flight results always came from one consistent epoch; the old
+// snapshot and the pending segment are retired together.
+
+// DefaultRefreezeThreshold is the overlay mutation count that triggers a
+// background re-freeze when Options.RefreezeThreshold is zero. 256 keeps
+// the brute-force overlay scan per ε-search in the same cost range as
+// touching a few extra tree leaves, while amortizing the O(n) compaction
+// over hundreds of mutations.
+const DefaultRefreezeThreshold = 256
+
+// refreezeRatioDiv caps re-freeze frequency on large live sets: a
+// re-freeze also requires the overlay to reach liveSize/refreezeRatioDiv
+// mutations, so compaction work stays amortized at O(refreezeRatioDiv)
+// points per mutation.
+const refreezeRatioDiv = 64
+
+// Options configures a Clusterer beyond its DBSCAN parameters.
+type Options struct {
+	// RefreezeThreshold is the overlay mutation count that triggers a
+	// background re-freeze (and the live size that triggers the first
+	// freeze). 0 selects DefaultRefreezeThreshold; on snapshots larger
+	// than 64× the threshold, the effective trigger grows to
+	// liveSize/64 so compactions stay amortized.
+	RefreezeThreshold int
+	// DisableFlat keeps every ε-search on the dynamic pointer tree (the
+	// pre-epoch behavior) — the ablation path and escape hatch.
+	DisableFlat bool
+	// Rec, when non-nil, records refreeze spans (obs.PhaseRefreeze with
+	// variant -1) into the owning goroutine's trace ring.
+	Rec *obs.Recorder
+}
+
+func (o Options) withDefaults() Options {
+	if o.RefreezeThreshold <= 0 {
+		o.RefreezeThreshold = DefaultRefreezeThreshold
+	}
+	return o
+}
+
+// epochState is the generational snapshot a Clusterer serves from.
+type epochState struct {
+	// flat is the frozen snapshot (nil until the first freeze).
+	flat *rtree.Flat
+	// ov stages mutations since the last clone; pending stages the
+	// segment between the previous freeze and the in-flight clone (empty
+	// when no re-freeze is running). Searches merge both.
+	ov, pending rtree.Overlay
+}
+
+// RefreezeStats reports the state of the epoch maintenance machinery.
+type RefreezeStats struct {
+	// Refreezes counts installed snapshots, including the first freeze.
+	Refreezes int
+	// FrozenPoints is the live point count covered by the current
+	// snapshot (0 before the first freeze).
+	FrozenPoints int
+	// OverlayAdded and OverlayDeleted are the staged net deltas not yet
+	// folded into a snapshot (across both overlay segments).
+	OverlayAdded, OverlayDeleted int
+	// RefreezeInFlight reports a background compaction in progress.
+	RefreezeInFlight bool
+	// StaleFallbacks counts ε-searches that found the snapshot's
+	// generation unaccounted for and fell back to the pointer tree. It
+	// stays 0 unless something mutates the tree behind the overlay's
+	// back — the guard that turns "wrong neighbors" into "slow search".
+	StaleFallbacks int64
+	// Generation is the dynamic tree's mutation counter.
+	Generation uint64
+}
+
+// RefreezeStats snapshots the epoch machinery's counters.
+func (c *Clusterer) RefreezeStats() RefreezeStats {
+	return RefreezeStats{
+		Refreezes:        c.refreezes,
+		FrozenPoints:     c.frozenLen(),
+		OverlayAdded:     c.snap.ov.NumAdded() + c.snap.pending.NumAdded(),
+		OverlayDeleted:   c.snap.ov.NumDeleted() + c.snap.pending.NumDeleted(),
+		RefreezeInFlight: c.refreezing,
+		StaleFallbacks:   c.staleFalls,
+		Generation:       c.tree.Generation(),
+	}
+}
+
+func (c *Clusterer) frozenLen() int {
+	if c.snap.flat == nil {
+		return 0
+	}
+	return c.snap.flat.Len()
+}
+
+// epochActive reports whether mutations must be staged in the overlay:
+// from the moment a freeze is in flight (the clone no longer sees new
+// mutations) or installed.
+func (c *Clusterer) epochActive() bool {
+	return c.snap.flat != nil || c.refreezing
+}
+
+// recordInsert stages a live insertion in the active overlay.
+func (c *Clusterer) recordInsert(idx int32) {
+	if c.epochActive() {
+		c.snap.ov.RecordInsert(idx)
+	}
+}
+
+// recordDelete stages a removal in the active overlay.
+func (c *Clusterer) recordDelete(idx int32) {
+	if c.epochActive() {
+		c.snap.ov.RecordDelete(idx)
+	}
+}
+
+// maybeRefreeze kicks off a background re-freeze when the active overlay
+// has crossed the size/ratio threshold (or the tree has grown enough for
+// its first freeze). At most one compaction runs at a time.
+//
+// The overlay is hard-bounded at twice the trigger: if it outgrows that
+// while a compaction is still in flight — on a single-CPU machine a
+// tight mutation loop can starve the background goroutine for an entire
+// scheduler quantum — the owner blocks for the install (the blocking
+// receive yields the CPU to the compactor) and immediately starts the
+// next epoch. Without the backstop the overlay grows without bound and
+// every ε-search pays a brute-force scan over it, which is exactly the
+// cost the flat path exists to avoid.
+func (c *Clusterer) maybeRefreeze() {
+	if c.opts.DisableFlat {
+		return
+	}
+	if c.refreezing {
+		if c.snap.ov.Muts() < 2*uint64(c.refreezeNeed()) {
+			return
+		}
+		c.pollRefreeze(true)
+	}
+	if c.snap.flat == nil {
+		if c.tree.Len() < c.opts.RefreezeThreshold {
+			return
+		}
+	} else if c.snap.ov.Muts() < uint64(c.refreezeNeed()) {
+		return
+	}
+	c.startRefreeze()
+}
+
+// refreezeNeed is the active-overlay mutation count that triggers the
+// next re-freeze: the configured threshold, scaled up on large frozen
+// sets so compaction work stays amortized.
+func (c *Clusterer) refreezeNeed() int {
+	need := c.opts.RefreezeThreshold
+	if c.snap.flat != nil {
+		if r := c.snap.flat.Len() / refreezeRatioDiv; r > need {
+			need = r
+		}
+	}
+	return need
+}
+
+// startRefreeze clones the tree structure, retires the active overlay
+// into the pending segment (the clone covers exactly those mutations),
+// and compacts the clone on a background goroutine. The send always
+// succeeds immediately (the channel holds one result and at most one
+// compaction is in flight), so an abandoned Clusterer never leaks the
+// goroutine.
+func (c *Clusterer) startRefreeze() {
+	clone := c.tree.Snapshot()
+	c.snap.pending = c.snap.ov
+	c.snap.ov = rtree.Overlay{}
+	c.refreezing = true
+	c.opts.Rec.PhaseBegin(-1, obs.PhaseRefreeze)
+	ch := c.refreezeCh
+	go func() { ch <- clone.Compact() }()
+}
+
+// pollRefreeze installs a finished background compaction, if any. All
+// searches call it first, so the swap happens between searches on the
+// owning goroutine — a copy-on-write hand-off with no locking on the
+// search hot path. block waits for an in-flight compaction to finish.
+func (c *Clusterer) pollRefreeze(block bool) {
+	if !c.refreezing {
+		return
+	}
+	if block {
+		c.install(<-c.refreezeCh)
+		return
+	}
+	select {
+	case f := <-c.refreezeCh:
+		c.install(f)
+	default:
+	}
+}
+
+// install swaps in the fresh snapshot and retires the overlay segment it
+// covers. The old Flat is simply dropped: it is immutable, so any search
+// result already produced from it (plus the overlays) remains a correct
+// answer for its epoch.
+func (c *Clusterer) install(f *rtree.Flat) {
+	c.snap.flat = f
+	c.snap.pending = rtree.Overlay{}
+	c.refreezing = false
+	c.refreezes++
+	c.opts.Rec.PhaseEnd(-1, obs.PhaseRefreeze)
+}
+
+// FlushRefreeze blocks until any in-flight background re-freeze has been
+// installed. Tests and benchmarks use it to pin the epoch state; normal
+// callers never need it (searches install finished snapshots
+// opportunistically).
+func (c *Clusterer) FlushRefreeze() {
+	c.pollRefreeze(true)
+}

@@ -116,6 +116,12 @@ const (
 	PhaseLabel
 	// PhaseBorder is parallel border-point attachment.
 	PhaseBorder
+	// PhaseRefreeze is one epoch of the incremental clusterer's
+	// generational index maintenance: from the moment a background
+	// re-freeze (tree snapshot + Compact) is kicked off until the fresh
+	// flat snapshot is installed and the covered overlay segment retired.
+	// Recorded with variant = -1 (it belongs to the index, not a variant).
+	PhaseRefreeze
 )
 
 // String implements fmt.Stringer.
@@ -133,6 +139,8 @@ func (p Phase) String() string {
 		return "label"
 	case PhaseBorder:
 		return "border"
+	case PhaseRefreeze:
+		return "refreeze"
 	default:
 		return fmt.Sprintf("Phase(%d)", uint8(p))
 	}

@@ -54,6 +54,42 @@ func TestScoreNoiseMisidentification(t *testing.T) {
 	}
 }
 
+func TestScoreAsymmetricNoise(t *testing.T) {
+	// The noise-misidentification penalty must fire in BOTH directions and
+	// both must cost exactly the same: a point that is noise only in the
+	// reference and a point that is noise only in the candidate each score
+	// 0, regardless of how clean the rest of the assignment is. A buggy
+	// one-sided check (e.g. only penalizing candidate-noise) would make
+	// Score(a, b) disagree with Score(b, a) on pure noise flips.
+	a := res(1, 1, 1, cluster.Noise, 2, 2)
+	b := res(1, 1, 1, 2, 2, cluster.Noise)
+	// Point 3: noise in a only -> 0. Point 5: noise in b only -> 0.
+	// Points 0-2: clusters of size 3/3, overlap 3 -> 1 each.
+	// Point 4: a-cluster 2 (size 2), b-cluster 2 (size 2), overlap 1 ->
+	// 1/(2+2-1) = 1/3.
+	want := (3 + 0 + 1.0/3 + 0) / 6
+	if got := MustScore(a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("asymmetric noise score = %g, want %g", got, want)
+	}
+	// Swapping reference and candidate flips which side each noise point
+	// sits on, but the per-point penalties are symmetric here, so the
+	// total must be identical.
+	if fwd, rev := MustScore(a, b), MustScore(b, a); math.Abs(fwd-rev) > 1e-12 {
+		t.Errorf("noise penalty is direction-dependent: %g vs %g", fwd, rev)
+	}
+	// All-noise reference against all-clustered candidate is the extreme
+	// case: every point misidentified, score exactly 0 — not NaN, not a
+	// Jaccard of empty sets.
+	allNoise := res(cluster.Noise, cluster.Noise, cluster.Noise)
+	allClus := res(1, 1, 1)
+	if got := MustScore(allNoise, allClus); got != 0 {
+		t.Errorf("all-noise vs all-clustered = %g, want 0", got)
+	}
+	if got := MustScore(allClus, allNoise); got != 0 {
+		t.Errorf("all-clustered vs all-noise = %g, want 0", got)
+	}
+}
+
 func TestScoreSplitCluster(t *testing.T) {
 	// Reference one cluster of 4; candidate splits it 2+2.
 	a := res(1, 1, 1, 1)

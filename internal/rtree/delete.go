@@ -52,6 +52,7 @@ func (t *Tree) delete(p geom.Point, wantIdx int32) (bool, error) {
 	// Remove the entry.
 	leaf.entries = append(leaf.entries[:entryIdx], leaf.entries[entryIdx+1:]...)
 	t.size--
+	t.gen++
 
 	// Condense: walk back up, dissolving underfull non-root nodes.
 	var orphans []entry

@@ -1,7 +1,9 @@
 package rtree
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"vdbscan/internal/geom"
@@ -70,15 +72,44 @@ type Flat struct {
 
 	height, r, fanout, size int
 
+	// gen is the source tree's generation at freeze time; a holder of the
+	// source tree compares it against Tree.Generation to detect staleness.
+	gen uint64
+
 	// maxStack is the exact worst-case traversal stack size for this
 	// tree; stackPool is only initialized when it exceeds flatLocalStack.
 	maxStack  int
 	stackPool *sync.Pool
 }
 
+// ErrFlatTooLarge is the panic value (wrapped with size detail) raised by
+// Compact/CompactWithCoords when the tree exceeds the flat layout's int32
+// offset space. All entry, child, and point offsets in a Flat are int32 —
+// the cap is math.MaxInt32 (≈2.1e9) leaf entries and points; beyond that
+// the unchecked casts would silently wrap and corrupt the index.
+var ErrFlatTooLarge = errors.New("rtree: tree exceeds flat layout int32 offset space")
+
+// checkCompactBounds validates that entries and points fit the int32
+// offsets of the flat layout. Factored out of CompactWithCoords so the
+// guard is unit-testable without allocating a multi-gigabyte tree.
+func checkCompactBounds(entries, points int) error {
+	if entries > math.MaxInt32 {
+		return fmt.Errorf("%w: %d entries > %d", ErrFlatTooLarge, entries, math.MaxInt32)
+	}
+	if points > math.MaxInt32 {
+		return fmt.Errorf("%w: %d points > %d", ErrFlatTooLarge, points, math.MaxInt32)
+	}
+	return nil
+}
+
 // Compact freezes the tree into a Flat. The Flat shares the tree's point
 // array but copies all structure; the tree may keep mutating afterwards
-// (call Compact again for a fresh frozen view).
+// (call Compact again for a fresh frozen view). The frozen snapshot
+// records the tree's generation at freeze time (Flat.Generation).
+//
+// The flat layout addresses entries, children, and points with int32
+// offsets; Compact panics with an error wrapping ErrFlatTooLarge when the
+// tree exceeds math.MaxInt32 leaf entries or points.
 func (t *Tree) Compact() *Flat {
 	return t.CompactWithCoords(nil, nil)
 }
@@ -87,7 +118,8 @@ func (t *Tree) Compact() *Flat {
 // slices, so several trees over the same point array (T_low and T_high)
 // share one pair instead of duplicating them. x and y must satisfy
 // x[i] == Points()[i].X and y[i] == Points()[i].Y; pass nil, nil to have
-// the Flat build its own.
+// the Flat build its own. It shares Compact's int32 size cap and panics
+// with an error wrapping ErrFlatTooLarge beyond it.
 func (t *Tree) CompactWithCoords(x, y []float64) *Flat {
 	f := &Flat{
 		pts:    t.pts,
@@ -95,6 +127,7 @@ func (t *Tree) CompactWithCoords(x, y []float64) *Flat {
 		r:      t.r,
 		fanout: t.fanout,
 		size:   t.size,
+		gen:    t.gen,
 	}
 	if x == nil || y == nil {
 		x = make([]float64, len(t.pts))
@@ -147,6 +180,9 @@ func (t *Tree) CompactWithCoords(x, y []float64) *Flat {
 			// paths maintain (CheckInvariants enforces it).
 			panic("rtree: Compact requires uniform leaf depth")
 		}
+	}
+	if err := checkCompactBounds(totalEntries, len(t.pts)); err != nil {
+		panic(err)
 	}
 	f.nodeEnt[numNodes] = int32(totalEntries)
 
@@ -204,6 +240,13 @@ func (f *Flat) Height() int { return f.height }
 
 // R returns the leaf occupancy the source tree was built with.
 func (f *Flat) R() int { return f.r }
+
+// Generation returns the source tree's mutation counter at freeze time.
+// When it differs from the live tree's Generation, this snapshot no
+// longer reflects the tree and must not serve searches on its own —
+// either merge the missing mutations from an Overlay or fall back to the
+// pointer tree.
+func (f *Flat) Generation() uint64 { return f.gen }
 
 // Stats reports the frozen tree's shape (same fields as Tree.Stats).
 func (f *Flat) Stats() Stats {

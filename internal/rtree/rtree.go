@@ -66,6 +66,11 @@ type Tree struct {
 	r      int // points per leaf entry used at construction (1 for dynamic)
 	size   int // number of indexed points
 	height int
+	// gen counts structural mutations (inserts and deletes) since
+	// construction. A Flat snapshot records the generation it was frozen
+	// at, so any holder of both can detect that the snapshot is stale
+	// instead of serving pre-mutation search results.
+	gen uint64
 }
 
 // Options configures tree construction.
@@ -177,14 +182,33 @@ func (t *Tree) Height() int { return t.height }
 // R returns the leaf occupancy the tree was built with (1 for dynamic trees).
 func (t *Tree) R() int { return t.r }
 
+// Generation returns the tree's mutation counter: 0 after construction,
+// incremented by every Insert, InsertIndexed, Delete, and DeleteIndex.
+// Compare against Flat.Generation to detect a stale frozen snapshot.
+func (t *Tree) Generation() uint64 { return t.gen }
+
 // Insert adds point p to a dynamic tree. Each inserted point becomes its own
 // leaf MBB (r = 1). Insert must not be used on a bulk-loaded tree whose
 // backing array the caller shares — the tree appends to its own copy.
 func (t *Tree) Insert(p geom.Point) {
 	idx := int32(len(t.pts))
 	t.pts = append(t.pts, p)
+	t.InsertIndexed(t.pts, idx)
+}
+
+// InsertIndexed adds a leaf entry for pts[idx], where pts is a
+// caller-owned backing array already extended to hold the point; the tree
+// adopts pts as its view. This is the insert path for callers (such as
+// dbscan.Index) that share one point array across several trees and must
+// not let each tree append its own copy of the point.
+func (t *Tree) InsertIndexed(pts []geom.Point, idx int32) {
+	if int(idx) >= len(pts) {
+		panic(fmt.Sprintf("rtree: InsertIndexed index %d out of range [0,%d)", idx, len(pts)))
+	}
+	t.pts = pts
 	t.size++
-	e := entry{mbb: geom.MBBOf(p), start: idx, count: 1}
+	t.gen++
+	e := entry{mbb: geom.MBBOf(pts[idx]), start: idx, count: 1}
 	split := t.insert(t.root, e)
 	if split != nil {
 		// Root was split: grow the tree upward.
@@ -198,6 +222,39 @@ func (t *Tree) Insert(p geom.Point) {
 		t.root = newRoot
 		t.height++
 	}
+}
+
+// Snapshot returns a structurally independent copy of the tree: all nodes
+// and entries are deep-copied, while the (append-only) point array is
+// shared with its length capped at snapshot time. Further Insert/Delete
+// calls on the original never affect the copy, so the copy can be handed
+// to a background goroutine — e.g. for Compact — while the original keeps
+// mutating. The clone carries the generation at snapshot time.
+func (t *Tree) Snapshot() *Tree {
+	cp := &Tree{
+		pts:    t.pts[:len(t.pts):len(t.pts)],
+		fanout: t.fanout,
+		r:      t.r,
+		size:   t.size,
+		height: t.height,
+		gen:    t.gen,
+	}
+	cp.root = cloneNode(t.root)
+	return cp
+}
+
+// cloneNode deep-copies a node and its subtree.
+func cloneNode(n *node) *node {
+	if n == nil {
+		return nil
+	}
+	m := &node{leaf: n.leaf, entries: append([]entry(nil), n.entries...)}
+	if !n.leaf {
+		for i := range m.entries {
+			m.entries[i].child = cloneNode(m.entries[i].child)
+		}
+	}
+	return m
 }
 
 // insert places e under n, returning a new sibling node if n was split.

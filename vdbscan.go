@@ -127,6 +127,7 @@ type config struct {
 	minSeedSize  int
 	disableReuse bool
 	noFlat       bool
+	refreezeN    int
 	work         *Work
 	tracer       *Tracer
 	progress     func(ProgressEvent)
@@ -204,6 +205,17 @@ func WithMinSeedSize(n int) Option { return func(c *config) { c.minSeedSize = n 
 // WithoutReuse forces every variant to cluster from scratch, keeping only
 // the shared-index parallelism (the paper's scenario-S1 baseline).
 func WithoutReuse() Option { return func(c *config) { c.disableReuse = true } }
+
+// WithRefreezeThreshold sets the streaming re-freeze trigger for
+// NewIncremental: once n mutations have been staged in the flat
+// snapshot's delta overlay, the index is re-frozen in the background
+// (n live points also trigger the first freeze). Smaller values keep
+// ε-searches closer to the pure flat-scan cost at the price of more
+// frequent compactions; 0 (the default) selects
+// incremental.DefaultRefreezeThreshold. Ignored by batch clustering,
+// where the index freezes exactly once. WithFlatIndex(false) disables
+// the snapshot machinery entirely.
+func WithRefreezeThreshold(n int) Option { return func(c *config) { c.refreezeN = n } }
 
 // WithWork records the run's accumulated work counters into w.
 func WithWork(w *Work) Option { return func(c *config) { c.work = w } }
