@@ -7,13 +7,17 @@
 //	vdbscan -in data.csv -eps 0.5 -minpts 4 -labels out.csv     # save labels
 //
 // With -A/-B the full variant set is executed with VariantDBSCAN (shared
-// index, cluster reuse, scheduling) and a per-variant summary is printed.
+// index, cluster reuse, scheduling) and a per-variant summary is printed;
+// -labels then writes one file per variant (out.v0.csv, out.v1.csv, ...)
+// in CartesianVariants order.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"vdbscan"
@@ -32,7 +36,7 @@ func main() {
 	r := flag.Int("r", 70, "points per leaf MBB in the eps-search tree")
 	scheme := flag.String("reuse", "density", "cluster reuse scheme: default, density, ptssquared")
 	strategy := flag.String("sched", "greedy", "scheduling heuristic: greedy, minpts, tree")
-	labelsOut := flag.String("labels", "", "write per-point labels CSV here (single run only)")
+	labelsOut := flag.String("labels", "", "write per-point labels CSV here (variant runs write one .vN file per variant)")
 	top := flag.Int("top", 5, "show the k largest clusters")
 	render := flag.Bool("render", false, "draw an ASCII map of the clustering (single run only)")
 	flag.Parse()
@@ -87,6 +91,16 @@ func main() {
 		fmt.Printf("\nmakespan=%s threads=%d meanReuse=%.1f%%\n",
 			run.Makespan.Round(time.Millisecond), run.Threads, run.MeanFractionReused()*100)
 		fmt.Printf("work: %v\n", work)
+		if *labelsOut != "" {
+			for i, vr := range run.Results {
+				path := variantLabelsPath(*labelsOut, i)
+				if err := writeLabels(path, vr.Clustering); err != nil {
+					fail(err)
+				}
+			}
+			fmt.Printf("labels written to %s (%d variants)\n",
+				variantLabelsPath(*labelsOut, 0)+" ...", len(run.Results))
+		}
 		return
 	}
 
@@ -110,16 +124,32 @@ func main() {
 		}
 	}
 	if *labelsOut != "" {
-		f, err := os.Create(*labelsOut)
-		if err != nil {
-			fail(err)
-		}
-		defer f.Close()
-		if err := dataio.WriteLabelsCSV(f, res); err != nil {
+		if err := writeLabels(*labelsOut, res); err != nil {
 			fail(err)
 		}
 		fmt.Printf("labels written to %s\n", *labelsOut)
 	}
+}
+
+func writeLabels(path string, res *vdbscan.Clustering) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := dataio.WriteLabelsCSV(f, res); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// variantLabelsPath derives the per-variant labels file for variant i:
+// "out.csv" becomes "out.v0.csv", an extension-less base gets ".v0".
+func variantLabelsPath(base string, i int) string {
+	if ext := filepath.Ext(base); ext != "" {
+		return fmt.Sprintf("%s.v%d%s", strings.TrimSuffix(base, ext), i, ext)
+	}
+	return fmt.Sprintf("%s.v%d", base, i)
 }
 
 func fail(err error) {

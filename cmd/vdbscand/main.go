@@ -1,0 +1,157 @@
+// Command vdbscand serves VariantDBSCAN clustering over HTTP/JSON.
+//
+// Datasets are uploaded once and indexed once; every job that targets a
+// dataset shares its frozen index, and jobs arriving within the batching
+// window are coalesced into a single ClusterVariants run over the union of
+// their variant lists.
+//
+// Usage:
+//
+//	vdbscand -addr :8714 -threads 4 -batch-window 100ms
+//
+// Every flag also reads a VDBSCAND_* environment variable as its default
+// (flag beats environment beats built-in), e.g.:
+//
+//	VDBSCAND_ADDR=:9000 VDBSCAND_BATCH_WINDOW=250ms vdbscand
+//
+// Endpoints (see internal/server for the full contract):
+//
+//	POST   /v1/datasets            upload a CSV dataset (?name=, ?r=)
+//	POST   /v1/datasets/{id}/jobs  submit a variant list, get a job ID
+//	GET    /v1/jobs/{id}           poll (?wait=10s long-polls)
+//	GET    /v1/jobs/{id}/labels    per-variant labels CSV (?variant=N)
+//	GET    /v1/jobs/{id}/trace     execution trace (?format=chrome|text)
+//	GET    /metrics                counters, plain text
+//
+// On SIGTERM/SIGINT the daemon drains: admission stops (new work gets 503),
+// running and queued batches finish, staged dataset appends are folded into
+// their indexes, and only then does the process exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vdbscan/internal/cliutil"
+	"vdbscan/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vdbscand:", err)
+		os.Exit(1)
+	}
+}
+
+// envDefaults resolves the VDBSCAND_* environment into flag defaults,
+// erroring on set-but-unparsable values instead of silently ignoring them.
+type envDefaults struct {
+	addr         string
+	threads      int
+	queue        int
+	runners      int
+	refreeze     int
+	r            int
+	batchWindow  time.Duration
+	jobTimeout   time.Duration
+	drainTimeout time.Duration
+}
+
+func loadEnv() (envDefaults, error) {
+	d := envDefaults{addr: cliutil.EnvOr("VDBSCAND_ADDR", ":8714")}
+	var err error
+	if d.threads, err = cliutil.EnvIntOr("VDBSCAND_THREADS", 1); err != nil {
+		return d, err
+	}
+	if d.queue, err = cliutil.EnvIntOr("VDBSCAND_QUEUE", server.DefaultQueueDepth); err != nil {
+		return d, err
+	}
+	if d.runners, err = cliutil.EnvIntOr("VDBSCAND_RUNNERS", server.DefaultRunners); err != nil {
+		return d, err
+	}
+	if d.refreeze, err = cliutil.EnvIntOr("VDBSCAND_REFREEZE_POINTS", server.DefaultRefreezePoints); err != nil {
+		return d, err
+	}
+	if d.r, err = cliutil.EnvIntOr("VDBSCAND_R", 0); err != nil {
+		return d, err
+	}
+	if d.batchWindow, err = cliutil.EnvDurationOr("VDBSCAND_BATCH_WINDOW", 0); err != nil {
+		return d, err
+	}
+	if d.jobTimeout, err = cliutil.EnvDurationOr("VDBSCAND_JOB_TIMEOUT", server.DefaultJobTimeout); err != nil {
+		return d, err
+	}
+	if d.drainTimeout, err = cliutil.EnvDurationOr("VDBSCAND_DRAIN_TIMEOUT", 30*time.Second); err != nil {
+		return d, err
+	}
+	return d, nil
+}
+
+func run() error {
+	env, err := loadEnv()
+	if err != nil {
+		return err
+	}
+	addr := flag.String("addr", env.addr, "listen address")
+	threads := flag.Int("threads", env.threads, "vdbscan worker goroutines per batch run")
+	queue := flag.Int("queue", env.queue, "max queued jobs before 429 backpressure")
+	runners := flag.Int("runners", env.runners, "concurrent batch runs")
+	refreeze := flag.Int("refreeze", env.refreeze, "staged points that trigger a dataset re-freeze")
+	leafR := flag.Int("r", env.r, "eps-search tree leaf occupancy for uploads (0 = library default)")
+	batchWindow := flag.Duration("batch-window", env.batchWindow,
+		"coalesce same-dataset jobs arriving within this window (0 disables)")
+	jobTimeout := flag.Duration("job-timeout", env.jobTimeout, "default per-job deadline")
+	drainTimeout := flag.Duration("drain-timeout", env.drainTimeout, "max time to drain on SIGTERM")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Threads:        *threads,
+		QueueDepth:     *queue,
+		BatchWindow:    *batchWindow,
+		JobTimeout:     *jobTimeout,
+		Runners:        *runners,
+		RefreezePoints: *refreeze,
+		IndexR:         *leafR,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() {
+		log.Printf("vdbscand listening on %s (threads=%d queue=%d batch-window=%s runners=%d)",
+			*addr, *threads, *queue, *batchWindow, *runners)
+		serveErr <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admitting (handlers now 503), finish running and
+	// queued batches, flush staged re-freezes — then stop the listener.
+	log.Printf("vdbscand draining (timeout %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		log.Printf("vdbscand drain incomplete: %v", err)
+	} else {
+		log.Printf("vdbscand drained")
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("vdbscand http shutdown: %v", err)
+	}
+	srv.Close()
+	return nil
+}

@@ -1,0 +1,44 @@
+package vdbscan
+
+import (
+	"fmt"
+	"strings"
+
+	"vdbscan/internal/dbscan"
+	"vdbscan/internal/rtree"
+)
+
+// The facade's error contract (see also the package comment):
+//
+//   - Every error returned by an exported function or method either is, or
+//     wraps (in the errors.Is/errors.As sense), one of the sentinel values
+//     below, a context error (context.Canceled, context.DeadlineExceeded),
+//     or an ordinary descriptive error.
+//   - Every error string is prefixed "vdbscan: " exactly once; internal
+//     package prefixes ("sched:", "rtree:") may follow inside the chain.
+
+// ErrFlatTooLarge reports that a point database exceeds the flat R-tree
+// layout's int32 offset space (more than ~2.1 billion entries or points).
+// It surfaces — wrapped with size detail — from index construction and from
+// streaming re-freezes; match it with errors.Is. Indexes too large for the
+// flat layout can still be built with WithFlatIndex(false).
+var ErrFlatTooLarge = rtree.ErrFlatTooLarge
+
+// ErrDeleteUnsupported reports a point deletion attempted on the immutable
+// batch Index, whose construction-time layout cannot shrink. Match it with
+// errors.Is. Deletion is supported by the streaming path: use
+// NewIncremental and Incremental.Delete.
+var ErrDeleteUnsupported = dbscan.ErrDeleteUnsupported
+
+// wrapErr brings an internal error onto the facade's contract: nil stays
+// nil, and everything else gains the "vdbscan: " prefix exactly once while
+// preserving the wrapped chain for errors.Is/errors.As.
+func wrapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if strings.HasPrefix(err.Error(), "vdbscan: ") {
+		return err
+	}
+	return fmt.Errorf("vdbscan: %w", err)
+}

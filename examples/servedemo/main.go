@@ -1,0 +1,139 @@
+// Servedemo is a vdbscand client: it spins up the clustering service
+// in-process, uploads a dataset, submits a variant job over HTTP, long-polls
+// until the job completes, and fetches the execution trace — the full
+// submit → poll → results → trace loop a real client would run against a
+// deployed daemon.
+//
+// Run `go run ./examples/servedemo`, or point it at an already-running
+// daemon with -addr (e.g. `vdbscand -addr :8714 &` then
+// `go run ./examples/servedemo -addr http://localhost:8714`).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"vdbscan/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running vdbscand (empty: start one in-process)")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		// No daemon given: host the service in-process, same handler the
+		// vdbscand binary serves.
+		srv := server.New(server.Config{Threads: 2, BatchWindow: 100 * time.Millisecond})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		base = ts.URL
+		fmt.Printf("started in-process vdbscand at %s\n", base)
+	}
+
+	// 1. Upload: three Gaussian blobs plus background noise, as CSV.
+	rnd := rand.New(rand.NewSource(7))
+	var csv bytes.Buffer
+	csv.WriteString("# name: servedemo\n")
+	for _, c := range [][2]float64{{10, 10}, {30, 25}, {50, 10}} {
+		for i := 0; i < 500; i++ {
+			fmt.Fprintf(&csv, "%g,%g\n", c[0]+rnd.NormFloat64()*1.2, c[1]+rnd.NormFloat64()*1.2)
+		}
+	}
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&csv, "%g,%g\n", rnd.Float64()*60, rnd.Float64()*35)
+	}
+	ds := postDoc(base+"/v1/datasets", csv.Bytes())
+	fmt.Printf("uploaded dataset %s: %v points (index version %v)\n",
+		ds["id"], ds["points"], ds["version"])
+
+	// 2. Submit a three-variant job; the response carries the job ID to poll.
+	job := postDoc(base+"/v1/datasets/"+ds["id"].(string)+"/jobs",
+		[]byte(`{"variants":[{"eps":0.8,"minpts":8},{"eps":1.0,"minpts":4},{"eps":1.5,"minpts":4}]}`))
+	jobID := job["id"].(string)
+	fmt.Printf("submitted job %s (state %v, batch %v)\n", jobID, job["state"], job["batch"])
+
+	// 3. Long-poll: ?wait holds the request until the job turns terminal.
+	for job["state"] == "queued" || job["state"] == "running" {
+		job = getDoc(base + "/v1/jobs/" + jobID + "?wait=10s")
+	}
+	if job["state"] != "done" {
+		log.Fatalf("job %s ended %v: %v", jobID, job["state"], job["error"])
+	}
+
+	fmt.Printf("\n%-16s %9s %7s %8s %8s\n", "variant", "clusters", "noise", "reused", "scratch")
+	for _, r := range job["results"].([]any) {
+		v := r.(map[string]any)
+		fmt.Printf("eps=%-4v mp=%-4v %9v %7v %7.1f%% %8v\n",
+			v["eps"], v["minpts"], v["clusters"], v["noise"],
+			v["fraction_reused"].(float64)*100, v["from_scratch"])
+	}
+
+	// 4. The trace shows the one batch run that served the job.
+	text := get(base + "/v1/jobs/" + jobID + "/trace?format=text")
+	fmt.Printf("\ntrace:\n")
+	for i, line := range strings.SplitN(string(text), "\n", 8) {
+		if i == 7 || line == "" {
+			break
+		}
+		fmt.Printf("  %s\n", line)
+	}
+
+	metrics := get(base + "/metrics")
+	for _, line := range strings.Split(string(metrics), "\n") {
+		if strings.HasPrefix(line, "vdbscand_jobs_completed_total") ||
+			strings.HasPrefix(line, "vdbscan_points_reused_total") {
+			fmt.Printf("metric: %s\n", line)
+		}
+	}
+}
+
+func postDoc(url string, body []byte) map[string]any {
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return decode(resp)
+}
+
+func getDoc(url string) map[string]any {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return decode(resp)
+}
+
+func get(url string) []byte {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return out
+}
+
+func decode(resp *http.Response) map[string]any {
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		log.Fatal(err)
+	}
+	if e, ok := doc["error"]; ok {
+		log.Fatalf("server error (%d): %v", resp.StatusCode, e)
+	}
+	return doc
+}

@@ -29,7 +29,8 @@ type RefreezeStats = incremental.RefreezeStats
 
 // NewIncremental returns an empty incremental clusterer for the given
 // parameters. Applicable options: WithWork, WithFlatIndex,
-// WithRefreezeThreshold, WithTracer.
+// WithRefreezeThreshold, WithTracer (a streaming clusterer is an index and
+// a run in one, so it accepts the full Option set).
 func NewIncremental(p Params, opts ...Option) (*Incremental, error) {
 	cfg := buildConfig(opts)
 	var m *metrics.Counters
@@ -42,7 +43,7 @@ func NewIncremental(p Params, opts ...Option) (*Incremental, error) {
 		Rec:               cfg.tracer.Worker(0),
 	})
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
 	inc := &Incremental{c: c, w: cfg.work}
 	if cfg.work != nil {
@@ -77,7 +78,7 @@ func (x *Incremental) InsertBatch(pts []Point) {
 func (x *Incremental) Delete(i int) error {
 	err := x.c.Delete(i)
 	x.syncWork()
-	return err
+	return wrapErr(err)
 }
 
 // Len returns the number of insertions, including deleted points.

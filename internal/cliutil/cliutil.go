@@ -1,15 +1,55 @@
-// Package cliutil holds the flag-parsing helpers shared by the command
-// line tools (cmd/vdbscan, cmd/datagen, cmd/experiments).
+// Package cliutil holds the flag- and environment-parsing helpers shared by
+// the command line tools (cmd/vdbscan, cmd/vdbscand, cmd/datagen,
+// cmd/experiments).
 package cliutil
 
 import (
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"vdbscan/internal/reuse"
 	"vdbscan/internal/sched"
 )
+
+// EnvOr returns the environment variable's value, or def when unset or
+// empty. Daemons use it as the flag default so `-addr` beats
+// `VDBSCAND_ADDR` beats the built-in default.
+func EnvOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+// EnvIntOr is EnvOr for integers. A set-but-unparsable value is an error:
+// silently falling back would mask a typo'd deployment config.
+func EnvIntOr(key string, def int) (int, error) {
+	v := os.Getenv(key)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("cliutil: %s=%q: %w", key, v, err)
+	}
+	return n, nil
+}
+
+// EnvDurationOr is EnvOr for time.ParseDuration values ("250ms", "1m30s").
+func EnvDurationOr(key string, def time.Duration) (time.Duration, error) {
+	v := os.Getenv(key)
+	if v == "" {
+		return def, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, fmt.Errorf("cliutil: %s=%q: %w", key, v, err)
+	}
+	return d, nil
+}
 
 // ParseFloats parses a comma-separated list of floats ("0.2, 0.4,0.6").
 // Empty elements are skipped; an empty list is an error.

@@ -2,6 +2,7 @@ package cliutil
 
 import (
 	"testing"
+	"time"
 
 	"vdbscan/internal/reuse"
 	"vdbscan/internal/sched"
@@ -73,5 +74,46 @@ func TestParseSchemeAndStrategy(t *testing.T) {
 	}
 	if _, err := ParseStrategy("bogus"); err == nil {
 		t.Error("bad strategy accepted")
+	}
+}
+
+func TestEnvOr(t *testing.T) {
+	t.Setenv("CLIUTIL_TEST_STR", "")
+	if got := EnvOr("CLIUTIL_TEST_STR", "fallback"); got != "fallback" {
+		t.Errorf("unset: got %q", got)
+	}
+	t.Setenv("CLIUTIL_TEST_STR", ":9999")
+	if got := EnvOr("CLIUTIL_TEST_STR", "fallback"); got != ":9999" {
+		t.Errorf("set: got %q", got)
+	}
+}
+
+func TestEnvIntOr(t *testing.T) {
+	t.Setenv("CLIUTIL_TEST_INT", "")
+	if got, err := EnvIntOr("CLIUTIL_TEST_INT", 42); err != nil || got != 42 {
+		t.Errorf("unset: got %d, %v", got, err)
+	}
+	t.Setenv("CLIUTIL_TEST_INT", "7")
+	if got, err := EnvIntOr("CLIUTIL_TEST_INT", 42); err != nil || got != 7 {
+		t.Errorf("set: got %d, %v", got, err)
+	}
+	t.Setenv("CLIUTIL_TEST_INT", "seven")
+	if _, err := EnvIntOr("CLIUTIL_TEST_INT", 42); err == nil {
+		t.Error("unparsable value must error, not silently fall back")
+	}
+}
+
+func TestEnvDurationOr(t *testing.T) {
+	t.Setenv("CLIUTIL_TEST_DUR", "")
+	if got, err := EnvDurationOr("CLIUTIL_TEST_DUR", time.Minute); err != nil || got != time.Minute {
+		t.Errorf("unset: got %v, %v", got, err)
+	}
+	t.Setenv("CLIUTIL_TEST_DUR", "250ms")
+	if got, err := EnvDurationOr("CLIUTIL_TEST_DUR", time.Minute); err != nil || got != 250*time.Millisecond {
+		t.Errorf("set: got %v, %v", got, err)
+	}
+	t.Setenv("CLIUTIL_TEST_DUR", "soon")
+	if _, err := EnvDurationOr("CLIUTIL_TEST_DUR", time.Minute); err == nil {
+		t.Error("unparsable duration must error")
 	}
 }

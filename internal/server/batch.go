@@ -1,0 +1,220 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"vdbscan"
+)
+
+// Admission errors surfaced by Server.admit. handlers.go maps them to 503
+// (draining) and 429 + Retry-After (queue full).
+var (
+	errDraining  = errors.New("server is draining")
+	errQueueFull = errors.New("job queue is full")
+)
+
+// batch is one ClusterVariants run: every job coalesced into it targets the
+// same dataset, and the run executes the union of their variant lists. The
+// batch context is canceled only when every member job has gone away
+// (canceled or deadline-expired), so one client's cancel never aborts
+// another client's work.
+type batch struct {
+	id        string
+	datasetID string
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	timer  *time.Timer // coalescing-window seal; nil when batching is off
+	sealed bool        // guarded by Server.mu, like membership below
+
+	mu    sync.Mutex
+	jobs  []*job
+	union []vdbscan.Params // deduplicated union of member variant lists
+	keys  map[string]int   // param key -> union index
+	live  int              // member jobs not yet terminal
+
+	// Set once by runBatch after the run; read by the trace/labels handlers.
+	points      int // dataset size the run saw
+	version     int // dataset install version the run saw
+	traceChrome []byte
+	traceText   []byte
+	ranAt       time.Time
+}
+
+func newBatch(id, datasetID string) *batch {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &batch{
+		id:        id,
+		datasetID: datasetID,
+		ctx:       ctx,
+		cancel:    cancel,
+		keys:      map[string]int{},
+	}
+}
+
+func paramKey(p vdbscan.Params) string {
+	return fmt.Sprintf("%g/%d", p.Eps, p.MinPts)
+}
+
+// add joins j to the batch: its params are folded into the deduplicated
+// union and j.slots records where each lands. Returns the member count
+// after joining. Caller holds Server.mu, which orders add against seal.
+func (b *batch) add(j *job) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	j.batch = b
+	j.slots = make([]int, len(j.params))
+	for i, p := range j.params {
+		k := paramKey(p)
+		slot, ok := b.keys[k]
+		if !ok {
+			slot = len(b.union)
+			b.union = append(b.union, p)
+			b.keys[k] = slot
+		}
+		j.slots[i] = slot
+	}
+	b.jobs = append(b.jobs, j)
+	b.live++
+	return len(b.jobs)
+}
+
+// leave records that a member job turned terminal before the batch
+// delivered results. When the last one leaves, the run (pending or in
+// flight) is canceled: nobody is waiting for it anymore.
+func (b *batch) leave(j *job) {
+	b.mu.Lock()
+	b.live--
+	last := b.live == 0
+	b.mu.Unlock()
+	if last {
+		b.cancel()
+	}
+}
+
+// members returns a snapshot of the batch's jobs and its union variants.
+func (b *batch) members() ([]*job, []vdbscan.Params) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]*job(nil), b.jobs...), b.union
+}
+
+func (b *batch) setRun(points, version int, chrome, text []byte) {
+	b.mu.Lock()
+	b.points = points
+	b.version = version
+	b.traceChrome = chrome
+	b.traceText = text
+	b.ranAt = time.Now()
+	b.mu.Unlock()
+}
+
+// trace returns the rendered exports of the batch's run, or ok=false if the
+// batch has not run yet.
+func (b *batch) trace() (chrome, text []byte, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.traceChrome, b.traceText, b.traceChrome != nil
+}
+
+// runBatch executes one sealed batch on a runner goroutine: snapshot the
+// dataset's frozen index, run the union variant list once, and distribute
+// per-slot results to every member job still alive.
+func (s *Server) runBatch(b *batch) {
+	defer b.cancel()
+	jobs, union := b.members()
+
+	// Every member leaves the admission queue now; jobs abandoned while
+	// queued already released their slot.
+	released := 0
+	for _, j := range jobs {
+		if j.leftQueue.CompareAndSwap(false, true) {
+			released++
+		}
+	}
+	if released > 0 {
+		s.jobLeftQueue(released)
+	}
+
+	var live []*job
+	for _, j := range jobs {
+		if j.setRunning() {
+			live = append(live, j)
+		}
+	}
+	if len(live) == 0 {
+		return // all members canceled or timed out while queued
+	}
+
+	d, ok := s.registry.get(b.datasetID)
+	if !ok {
+		s.failBatch(live, "dataset deleted before the job ran")
+		return
+	}
+	idx, points, version := d.snapshot()
+
+	tr := vdbscan.NewTracer()
+	var work vdbscan.Work
+	run, err := idx.ClusterVariants(union,
+		vdbscan.WithThreads(s.cfg.Threads),
+		vdbscan.WithContext(b.ctx),
+		vdbscan.WithTracer(tr),
+		vdbscan.WithWork(&work),
+	)
+	s.ctrs.batchesRun.Add(1)
+	s.addWork(work)
+
+	var chrome, text bytes.Buffer
+	if terr := tr.WriteChromeTrace(&chrome); terr != nil {
+		chrome.Reset()
+		fmt.Fprintf(&chrome, `{"error":%q}`, terr.Error())
+	}
+	if terr := tr.WriteTimeline(&text); terr != nil {
+		text.Reset()
+		fmt.Fprintf(&text, "trace unavailable: %v\n", terr)
+	}
+	b.setRun(points, version, chrome.Bytes(), text.Bytes())
+
+	if err != nil {
+		s.failBatch(live, err.Error())
+		return
+	}
+	s.ctrs.variantsRun.Add(int64(len(union)))
+
+	for _, j := range live {
+		outcomes := make([]variantOutcome, len(j.params))
+		for i, slot := range j.slots {
+			vr := run.Results[slot]
+			outcomes[i] = variantOutcome{
+				Params:         vr.Params,
+				Clusters:       vr.Clustering.NumClusters,
+				Noise:          vr.Clustering.NumNoise(),
+				FractionReused: vr.FractionReused,
+				FromScratch:    vr.FromScratch,
+				Duration:       vr.Duration(),
+				clustering:     vr.Clustering,
+			}
+		}
+		if j.finish(stateDone, "", outcomes) {
+			s.ctrs.jobsCompleted.Add(1)
+			b.leave(j)
+		}
+	}
+}
+
+// failBatch finishes every still-live member as failed. Jobs that turned
+// terminal concurrently (e.g. the cancel that aborted the run) are skipped.
+func (s *Server) failBatch(live []*job, msg string) {
+	for _, j := range live {
+		if j.finish(stateFailed, msg, nil) {
+			s.ctrs.jobsFailed.Add(1)
+			j.batch.leave(j)
+		}
+	}
+}

@@ -1,0 +1,415 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"vdbscan"
+	"vdbscan/internal/dataio"
+)
+
+// ---- wire documents ----------------------------------------------------
+
+// datasetDoc is the JSON shape of a dataset resource.
+type datasetDoc struct {
+	ID         string `json:"id"`
+	Name       string `json:"name"`
+	Points     int    `json:"points"`  // covered by the installed index
+	Staged     int    `json:"staged"`  // appended, awaiting re-freeze
+	Version    int    `json:"version"` // index install version
+	Refreezing bool   `json:"refreezing"`
+	Created    string `json:"created"`
+}
+
+// variantSpec is one (ε, minpts) pair in a job submission.
+type variantSpec struct {
+	Eps    float64 `json:"eps"`
+	MinPts int     `json:"minpts"`
+}
+
+// jobRequest is the POST /v1/datasets/{id}/jobs body.
+type jobRequest struct {
+	Variants []variantSpec `json:"variants"`
+	// TimeoutMS overrides the server's default job deadline (milliseconds).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// variantDoc is one per-variant result inside a job document.
+type variantDoc struct {
+	Eps            float64 `json:"eps"`
+	MinPts         int     `json:"minpts"`
+	Clusters       int     `json:"clusters"`
+	Noise          int     `json:"noise"`
+	FractionReused float64 `json:"fraction_reused"`
+	FromScratch    bool    `json:"from_scratch"`
+	DurationMS     float64 `json:"duration_ms"`
+}
+
+// jobDoc is the JSON shape of a job resource. BatchJobs and BatchVariants
+// expose the coalescing outcome: a job that shared its run reports
+// batch_jobs > 1 and a union variant count covering every member.
+type jobDoc struct {
+	ID            string       `json:"id"`
+	Dataset       string       `json:"dataset"`
+	State         string       `json:"state"`
+	Error         string       `json:"error,omitempty"`
+	Batch         string       `json:"batch"`
+	BatchJobs     int          `json:"batch_jobs"`
+	BatchVariants int          `json:"batch_variants"`
+	Created       string       `json:"created"`
+	Started       string       `json:"started,omitempty"`
+	Finished      string       `json:"finished,omitempty"`
+	Results       []variantDoc `json:"results,omitempty"`
+}
+
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+// ---- helpers -----------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorDoc{Error: fmt.Sprintf(format, args...)})
+}
+
+func stamp(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+func (s *Server) datasetDoc(d *dataset) datasetDoc {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return datasetDoc{
+		ID:         d.id,
+		Name:       d.name,
+		Points:     len(d.points),
+		Staged:     len(d.staged),
+		Version:    d.version,
+		Refreezing: d.refreezing,
+		Created:    stamp(d.created),
+	}
+}
+
+func (s *Server) jobDoc(j *job) jobDoc {
+	state, errMsg, started, finished, results := j.view()
+	members, union := j.batch.members()
+	doc := jobDoc{
+		ID:            j.id,
+		Dataset:       j.datasetID,
+		State:         state,
+		Error:         errMsg,
+		Batch:         j.batch.id,
+		BatchJobs:     len(members),
+		BatchVariants: len(union),
+		Created:       stamp(j.created),
+		Started:       stamp(started),
+		Finished:      stamp(finished),
+	}
+	for _, o := range results {
+		doc.Results = append(doc.Results, variantDoc{
+			Eps:            o.Params.Eps,
+			MinPts:         o.Params.MinPts,
+			Clusters:       o.Clusters,
+			Noise:          o.Noise,
+			FractionReused: o.FractionReused,
+			FromScratch:    o.FromScratch,
+			DurationMS:     float64(o.Duration) / float64(time.Millisecond),
+		})
+	}
+	return doc
+}
+
+// retryAfterSeconds is the 429 backpressure hint: roughly one batching
+// window (the soonest the backlog can shrink), never less than a second.
+func (s *Server) retryAfterSeconds() int {
+	secs := int(s.cfg.BatchWindow / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// readPointsCSV parses a CSV request body ("x,y" rows, optional "# key:
+// value" header) into points, enforcing MaxBodyBytes.
+func (s *Server) readPointsCSV(w http.ResponseWriter, r *http.Request) ([]vdbscan.Point, string, error) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	ds, err := dataio.ReadCSV(body)
+	if err != nil {
+		return nil, "", err
+	}
+	return ds.Points, ds.Name, nil
+}
+
+// ---- dataset handlers --------------------------------------------------
+
+func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	points, csvName, err := s.readPointsCSV(w, r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "parse dataset: %v", err)
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" && csvName != "unnamed" {
+		name = csvName
+	}
+	leafR := 0
+	if v := r.URL.Query().Get("r"); v != "" {
+		leafR, err = strconv.Atoi(v)
+		if err != nil || leafR < 0 {
+			writeErr(w, http.StatusBadRequest, "bad r parameter %q", v)
+			return
+		}
+	}
+	d, err := s.registry.create(name, points, leafR)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.ctrs.datasets.Add(1)
+	writeJSON(w, http.StatusCreated, s.datasetDoc(d))
+}
+
+func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
+	docs := []datasetDoc{}
+	for _, d := range s.registry.list() {
+		docs = append(docs, s.datasetDoc(d))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": docs})
+}
+
+func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.registry.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no dataset %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.datasetDoc(d))
+}
+
+func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.registry.delete(id) {
+		writeErr(w, http.StatusNotFound, "no dataset %q", id)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleDatasetAppend(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	d, ok := s.registry.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no dataset %q", r.PathValue("id"))
+		return
+	}
+	points, _, err := s.readPointsCSV(w, r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "parse points: %v", err)
+		return
+	}
+	if len(points) == 0 {
+		writeErr(w, http.StatusBadRequest, "no points in body")
+		return
+	}
+	staged, refreezing := s.registry.append(d, points, &s.ctrs)
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"dataset":    d.id,
+		"staged":     staged,
+		"refreezing": refreezing,
+	})
+}
+
+// ---- job handlers ------------------------------------------------------
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.registry.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no dataset %q", r.PathValue("id"))
+		return
+	}
+	var req jobRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "parse job request: %v", err)
+		return
+	}
+	if len(req.Variants) == 0 {
+		writeErr(w, http.StatusBadRequest, "job has no variants")
+		return
+	}
+	params := make([]vdbscan.Params, len(req.Variants))
+	for i, v := range req.Variants {
+		if v.Eps <= 0 || v.MinPts <= 0 {
+			writeErr(w, http.StatusBadRequest,
+				"variant %d: eps and minpts must be positive (got eps=%g minpts=%d)",
+				i, v.Eps, v.MinPts)
+			return
+		}
+		params[i] = vdbscan.Params{Eps: v.Eps, MinPts: v.MinPts}
+	}
+	timeout := s.cfg.JobTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+
+	j := s.jobs.new(d.id, params, timeout)
+	if err := s.admit(j); err != nil {
+		switch err {
+		case errQueueFull:
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+			writeErr(w, http.StatusTooManyRequests,
+				"job queue is full (%d queued)", s.queueDepth())
+		case errDraining:
+			writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		default:
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	s.jobs.put(j)
+	s.armWatchdog(j)
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, s.jobDoc(j))
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	docs := []jobDoc{}
+	for _, j := range s.jobs.list() {
+		docs = append(docs, s.jobDoc(j))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": docs})
+}
+
+// handleJobGet returns the job document; with ?wait=<duration> it long-polls
+// until the job turns terminal or the wait (capped at DefaultMaxLongPollWait)
+// elapses, whichever is first.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		wait, err := time.ParseDuration(waitStr)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad wait %q: %v", waitStr, err)
+			return
+		}
+		if wait > DefaultMaxLongPollWait {
+			wait = DefaultMaxLongPollWait
+		}
+		if wait > 0 {
+			t := time.NewTimer(wait)
+			defer t.Stop()
+			select {
+			case <-j.done:
+			case <-t.C:
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, s.jobDoc(j))
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	s.abandon(j, stateCanceled, "canceled by client")
+	writeJSON(w, http.StatusOK, s.jobDoc(j))
+}
+
+// handleJobLabels streams one variant's labels as "index,label" CSV (the
+// dataio.WriteLabelsCSV format, diffable against the CLI's output).
+func (s *Server) handleJobLabels(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	variant := 0
+	if v := r.URL.Query().Get("variant"); v != "" {
+		var err error
+		variant, err = strconv.Atoi(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad variant %q", v)
+			return
+		}
+	}
+	o, ok := j.outcome(variant)
+	if !ok {
+		state, errMsg, _, _, _ := j.view()
+		if state != stateDone {
+			writeErr(w, http.StatusConflict,
+				"job %s is %s (%s); labels require state done", j.id, state, errMsg)
+		} else {
+			writeErr(w, http.StatusNotFound, "job %s has no variant %d", j.id, variant)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	dataio.WriteLabelsCSV(w, o.clustering) //nolint:errcheck // client gone
+}
+
+// handleJobTrace serves the execution trace of the batch run that carried
+// the job: Chrome trace-event JSON by default, the plain-text timeline with
+// ?format=text. One batch means one trace — coalesced jobs share it.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	chrome, text, ok := j.batch.trace()
+	if !ok {
+		writeErr(w, http.StatusConflict, "job %s has not run yet; no trace", j.id)
+		return
+	}
+	switch f := r.URL.Query().Get("format"); f {
+	case "", "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(chrome) //nolint:errcheck // client gone
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(text) //nolint:errcheck // client gone
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown trace format %q", f)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   status,
+		"uptime":   time.Since(s.start).Round(time.Millisecond).String(),
+		"queued":   s.queueDepth(),
+		"datasets": s.registry.len(),
+	})
+}

@@ -1,0 +1,208 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vdbscan"
+)
+
+// Job states. A job is terminal in done, failed, or canceled; the done
+// channel closes exactly when the job turns terminal, which is what
+// long-polls and waiting clients block on.
+const (
+	stateQueued   = "queued"
+	stateRunning  = "running"
+	stateDone     = "done"
+	stateFailed   = "failed"
+	stateCanceled = "canceled"
+)
+
+// variantOutcome is the per-variant result a job exposes: the summary the
+// job document embeds plus the full clustering behind the labels endpoint.
+type variantOutcome struct {
+	Params         vdbscan.Params
+	Clusters       int
+	Noise          int
+	FractionReused float64
+	FromScratch    bool
+	Duration       time.Duration
+	clustering     *vdbscan.Clustering
+}
+
+// job is one submitted clustering request. Mutable state is guarded by mu;
+// transitions to a terminal state happen exactly once and close done.
+type job struct {
+	id        string
+	datasetID string
+	params    []vdbscan.Params
+	created   time.Time
+	deadline  time.Time
+
+	batch *batch // assigned at admission, never changes
+	slots []int  // params[i] -> index into the batch's union variant list
+
+	mu       sync.Mutex
+	state    string
+	err      string
+	started  time.Time
+	finished time.Time
+	results  []variantOutcome
+	watchdog *time.Timer
+
+	done chan struct{}
+
+	// leftQueue ensures the job releases its admission slot exactly once
+	// (either when its batch starts running or when it is canceled first).
+	leftQueue atomic.Bool
+}
+
+// terminalLocked reports whether the job has already finished.
+func (j *job) terminalLocked() bool {
+	return j.state == stateDone || j.state == stateFailed || j.state == stateCanceled
+}
+
+// setRunning moves queued -> running; a no-op if the job finished first
+// (canceled or deadline-expired while queued). Reports whether the job is
+// still live.
+func (j *job) setRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.terminalLocked() {
+		return false
+	}
+	j.state = stateRunning
+	j.started = time.Now()
+	return true
+}
+
+// finish moves the job to a terminal state exactly once. It returns false
+// if the job was already terminal. The caller handles batch membership and
+// queue accounting.
+func (j *job) finish(state, errMsg string, results []variantOutcome) bool {
+	j.mu.Lock()
+	if j.terminalLocked() {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = state
+	j.err = errMsg
+	j.results = results
+	j.finished = time.Now()
+	if j.watchdog != nil {
+		j.watchdog.Stop()
+		j.watchdog = nil
+	}
+	j.mu.Unlock()
+	close(j.done)
+	return true
+}
+
+// view returns a consistent copy of the job's mutable state.
+func (j *job) view() (state, errMsg string, started, finished time.Time, results []variantOutcome) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.err, j.started, j.finished, j.results
+}
+
+// outcome returns the i-th variant outcome once the job is done.
+func (j *job) outcome(i int) (variantOutcome, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != stateDone || i < 0 || i >= len(j.results) {
+		return variantOutcome{}, false
+	}
+	return j.results[i], true
+}
+
+// jobStore indexes jobs by ID.
+type jobStore struct {
+	mu  sync.Mutex
+	m   map[string]*job
+	seq atomic.Int64
+}
+
+func newJobStore() *jobStore {
+	return &jobStore{m: map[string]*job{}}
+}
+
+// new creates a queued job with its deadline counted from now. The job is
+// NOT in the store yet: callers publish it with put only after admission
+// succeeds, so clients can never observe a job without a batch.
+func (st *jobStore) new(datasetID string, params []vdbscan.Params, timeout time.Duration) *job {
+	now := time.Now()
+	return &job{
+		id:        fmt.Sprintf("j%d", st.seq.Add(1)),
+		datasetID: datasetID,
+		params:    params,
+		created:   now,
+		deadline:  now.Add(timeout),
+		state:     stateQueued,
+		done:      make(chan struct{}),
+	}
+}
+
+// put publishes an admitted job.
+func (st *jobStore) put(j *job) {
+	st.mu.Lock()
+	st.m[j.id] = j
+	st.mu.Unlock()
+}
+
+func (st *jobStore) get(id string) (*job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.m[id]
+	return j, ok
+}
+
+func (st *jobStore) list() []*job {
+	st.mu.Lock()
+	out := make([]*job, 0, len(st.m))
+	for _, j := range st.m {
+		out = append(out, j)
+	}
+	st.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		// Numeric ID order == submission order.
+		return len(out[i].id) < len(out[j].id) ||
+			(len(out[i].id) == len(out[j].id) && out[i].id < out[j].id)
+	})
+	return out
+}
+
+// abandon finishes a job early (cancel or deadline) and detaches it from
+// its batch: the admission slot is released if the job was still queued,
+// and the batch run is canceled once no live jobs remain. Reports whether
+// the job was still live.
+func (s *Server) abandon(j *job, state, errMsg string) bool {
+	if !j.finish(state, errMsg, nil) {
+		return false
+	}
+	switch state {
+	case stateCanceled:
+		s.ctrs.jobsCanceled.Add(1)
+	case stateFailed:
+		s.ctrs.jobsFailed.Add(1)
+	}
+	if j.leftQueue.CompareAndSwap(false, true) {
+		s.jobLeftQueue(1)
+	}
+	j.batch.leave(j)
+	return true
+}
+
+// armWatchdog starts the job's deadline timer. Expiry is a per-job failure:
+// the batch keeps running for its other members unless this was the last
+// live one.
+func (s *Server) armWatchdog(j *job) {
+	d := time.Until(j.deadline)
+	j.mu.Lock()
+	j.watchdog = time.AfterFunc(d, func() {
+		s.abandon(j, stateFailed, "deadline exceeded: "+fmt.Sprint(j.deadline.Sub(j.created)))
+	})
+	j.mu.Unlock()
+}

@@ -1,0 +1,41 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// handleMetrics exposes the server counters and the accumulated vdbscan
+// work counters in the conventional one-`name value`-per-line text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	bw := bufio.NewWriter(w)
+	emit := func(name string, v int64) {
+		fmt.Fprintf(bw, "%s %d\n", name, v)
+	}
+	emit("vdbscand_jobs_accepted_total", s.ctrs.jobsAccepted.Load())
+	emit("vdbscand_jobs_rejected_total", s.ctrs.jobsRejected.Load())
+	emit("vdbscand_jobs_completed_total", s.ctrs.jobsCompleted.Load())
+	emit("vdbscand_jobs_failed_total", s.ctrs.jobsFailed.Load())
+	emit("vdbscand_jobs_canceled_total", s.ctrs.jobsCanceled.Load())
+	emit("vdbscand_jobs_coalesced_total", s.ctrs.jobsCoalesced.Load())
+	emit("vdbscand_batches_run_total", s.ctrs.batchesRun.Load())
+	emit("vdbscand_variants_run_total", s.ctrs.variantsRun.Load())
+	emit("vdbscand_dataset_refreezes_total", s.ctrs.refreezes.Load())
+	emit("vdbscand_datasets_created_total", s.ctrs.datasets.Load())
+	emit("vdbscand_datasets_live", int64(s.registry.len()))
+	emit("vdbscand_queue_depth", int64(s.queueDepth()))
+	emit("vdbscand_uptime_seconds", int64(time.Since(s.start)/time.Second))
+
+	work := s.workSnapshot()
+	emit("vdbscan_neighbor_searches_total", work.NeighborSearches)
+	emit("vdbscan_candidates_examined_total", work.CandidatesExamined)
+	emit("vdbscan_neighbors_found_total", work.NeighborsFound)
+	emit("vdbscan_nodes_visited_total", work.NodesVisited)
+	emit("vdbscan_points_reused_total", work.PointsReused)
+	emit("vdbscan_clusters_reused_total", work.ClustersReused)
+	emit("vdbscan_clusters_destroyed_total", work.ClustersDestroyed)
+	bw.Flush()
+}

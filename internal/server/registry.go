@@ -1,0 +1,203 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vdbscan"
+)
+
+// dataset is one uploaded point database and its frozen index. The index is
+// immutable; appended points are staged and folded in by a re-freeze (a
+// full rebuild installed atomically), so jobs always run against a
+// consistent frozen snapshot and never against a half-built index.
+type dataset struct {
+	id      string
+	name    string
+	created time.Time
+	r       int // ε-search leaf occupancy used at (re)freeze
+
+	mu         sync.Mutex
+	points     []vdbscan.Point // points covered by the installed index
+	index      *vdbscan.Index
+	staged     []vdbscan.Point // appended, awaiting the next re-freeze
+	version    int             // bumped at every install
+	refreezing bool
+	flushCh    chan struct{} // closed when the in-flight re-freeze installs
+	deleted    bool
+}
+
+// snapshot returns the dataset's current frozen index, its point count, and
+// the install version — the triple a batch run binds to.
+func (d *dataset) snapshot() (*vdbscan.Index, int, int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.index, len(d.points), d.version
+}
+
+// registry is the dataset store.
+type registry struct {
+	cfg Config
+	mu  sync.Mutex
+	m   map[string]*dataset
+	seq atomic.Int64
+}
+
+func newRegistry(cfg Config) *registry {
+	return &registry{cfg: cfg, m: map[string]*dataset{}}
+}
+
+// create indexes points and registers the dataset. r == 0 falls back to
+// Config.IndexR, then to the library default.
+func (g *registry) create(name string, points []vdbscan.Point, r int) (*dataset, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("dataset has no points")
+	}
+	if r == 0 {
+		r = g.cfg.IndexR
+	}
+	var opts []vdbscan.IndexOption
+	if r > 0 {
+		opts = append(opts, vdbscan.WithR(r))
+	}
+	d := &dataset{
+		id:      fmt.Sprintf("d%d", g.seq.Add(1)),
+		name:    name,
+		created: time.Now(),
+		r:       r,
+		points:  points,
+		index:   vdbscan.NewIndex(points, opts...),
+		version: 1,
+	}
+	if d.name == "" {
+		d.name = d.id
+	}
+	g.mu.Lock()
+	g.m[d.id] = d
+	g.mu.Unlock()
+	return d, nil
+}
+
+func (g *registry) get(id string) (*dataset, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	d, ok := g.m[id]
+	return d, ok
+}
+
+func (g *registry) delete(id string) bool {
+	g.mu.Lock()
+	d, ok := g.m[id]
+	delete(g.m, id)
+	g.mu.Unlock()
+	if ok {
+		d.mu.Lock()
+		d.deleted = true
+		d.mu.Unlock()
+	}
+	return ok
+}
+
+func (g *registry) list() []*dataset {
+	g.mu.Lock()
+	out := make([]*dataset, 0, len(g.m))
+	for _, d := range g.m {
+		out = append(out, d)
+	}
+	g.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+func (g *registry) len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}
+
+// append stages points onto d and, once the staged backlog reaches the
+// re-freeze threshold, kicks a background re-freeze that rebuilds the index
+// over points+staged and installs it atomically. Returns the staged count
+// and whether a re-freeze is now in flight.
+func (g *registry) append(d *dataset, pts []vdbscan.Point, ctrs *counters) (staged int, refreezing bool) {
+	d.mu.Lock()
+	d.staged = append(d.staged, pts...)
+	staged = len(d.staged)
+	kick := staged >= g.cfg.RefreezePoints && !d.refreezing
+	if kick {
+		d.refreezing = true
+		d.flushCh = make(chan struct{})
+	}
+	refreezing = d.refreezing
+	d.mu.Unlock()
+	if kick {
+		go g.refreeze(d, ctrs)
+	}
+	return staged, refreezing
+}
+
+// refreeze rebuilds d's index including every point staged at the moment
+// the rebuild starts. Points appended during the rebuild stay staged for
+// the next one.
+func (g *registry) refreeze(d *dataset, ctrs *counters) {
+	d.mu.Lock()
+	base, add := d.points, d.staged
+	d.mu.Unlock()
+
+	combined := make([]vdbscan.Point, 0, len(base)+len(add))
+	combined = append(combined, base...)
+	combined = append(combined, add...)
+	var opts []vdbscan.IndexOption
+	if d.r > 0 {
+		opts = append(opts, vdbscan.WithR(d.r))
+	}
+	idx := vdbscan.NewIndex(combined, opts...) // the expensive part, off-lock
+
+	d.mu.Lock()
+	d.points = combined
+	d.index = idx
+	d.staged = d.staged[len(add):]
+	d.version++
+	d.refreezing = false
+	ch := d.flushCh
+	d.flushCh = nil
+	d.mu.Unlock()
+	if ctrs != nil {
+		ctrs.refreezes.Add(1)
+	}
+	close(ch)
+}
+
+// flushRefreezes folds every dataset's staged points in and waits for all
+// in-flight re-freezes — the drain path's "no appended point is silently
+// dropped" guarantee.
+func (g *registry) flushRefreezes() {
+	for _, d := range g.list() {
+		g.flushDataset(d)
+	}
+}
+
+// flushDataset drives one dataset to the staged-empty, no-refreeze-in-flight
+// state.
+func (g *registry) flushDataset(d *dataset) {
+	for {
+		d.mu.Lock()
+		switch {
+		case d.refreezing:
+			ch := d.flushCh
+			d.mu.Unlock()
+			<-ch // wait for the install, then re-check for new staging
+		case len(d.staged) > 0:
+			d.refreezing = true
+			d.flushCh = make(chan struct{})
+			d.mu.Unlock()
+			g.refreeze(d, nil)
+		default:
+			d.mu.Unlock()
+			return
+		}
+	}
+}

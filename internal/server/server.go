@@ -1,0 +1,334 @@
+// Package server implements vdbscand, the HTTP/JSON clustering service.
+//
+// The paper's premise — many (ε, minpts) variants amortizing one shared
+// immutable index — is exactly the shape of a multi-tenant service: the
+// expensive artifact (the frozen R-tree pair) is built once per dataset at
+// upload time and shared by every job that targets the dataset, the way
+// VariantDBSCAN shares it across variants inside one run. The server adds
+// the missing network-facing layers:
+//
+//   - a dataset registry: upload, list, delete; each dataset holds one
+//     frozen vdbscan.Index; appended points are staged and folded in by a
+//     background re-freeze once they exceed a threshold;
+//   - an async job queue: POST a variant list, get a job ID, poll (or
+//     long-poll) for per-variant results and labels;
+//   - bounded-queue admission control: when the backlog reaches QueueDepth
+//     jobs, submissions are rejected with 429 and a Retry-After hint
+//     instead of queuing without bound;
+//   - cross-request batching: jobs targeting the same dataset that arrive
+//     within BatchWindow are coalesced into a single ClusterVariants run,
+//     so the scheduler's reuse heuristics see the union of their variants
+//     (more completed sources to reuse from, one queue drain instead of
+//     many) — the service-level analogue of the paper's variant set;
+//   - per-job deadlines and cancellation: each job carries a timeout and
+//     can be canceled; a batch run is canceled only when every job in it
+//     has gone away;
+//   - observability: each batch run records a vdbscan.Tracer, exported per
+//     job at /v1/jobs/{id}/trace; work counters and server counters are
+//     exposed at /metrics;
+//   - graceful drain: Drain stops admission, lets running and queued
+//     batches finish, and flushes pending dataset re-freezes.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vdbscan"
+)
+
+// Defaults for Config zero values (DefaultBatchWindow is the one exception:
+// a zero BatchWindow disables coalescing rather than defaulting on, so that
+// Config{} is the simplest correct server).
+const (
+	DefaultQueueDepth      = 64
+	DefaultJobTimeout      = 5 * time.Minute
+	DefaultMaxBodyBytes    = 64 << 20
+	DefaultRunners         = 2
+	DefaultRefreezePoints  = 4096
+	DefaultMaxLongPollWait = 60 * time.Second
+)
+
+// Config parameterizes a Server. The zero value is usable: every field
+// falls back to the package default above, except BatchWindow, whose zero
+// disables cross-request batching (each job runs as its own batch).
+type Config struct {
+	// Threads is the vdbscan worker-pool width of each ClusterVariants run.
+	Threads int
+	// QueueDepth bounds the number of admitted-but-not-yet-running jobs;
+	// submissions beyond it get 429 with a Retry-After header.
+	QueueDepth int
+	// BatchWindow is the coalescing window: jobs for the same dataset
+	// admitted within it join one ClusterVariants run. Zero or negative
+	// disables coalescing.
+	BatchWindow time.Duration
+	// JobTimeout is the default per-job deadline, counted from admission;
+	// a job may override it (shorter or longer) at submission.
+	JobTimeout time.Duration
+	// MaxBodyBytes caps upload and submission request bodies.
+	MaxBodyBytes int64
+	// Runners is the number of batch-runner goroutines: how many
+	// ClusterVariants runs (over distinct batches) may be in flight at once.
+	Runners int
+	// RefreezePoints is the staged-append threshold that triggers a
+	// background dataset re-freeze (index rebuild folding staged points in).
+	RefreezePoints int
+	// IndexR overrides the ε-search tree leaf occupancy for uploaded
+	// datasets (0 keeps the library default; a per-upload ?r= query
+	// parameter overrides both).
+	IndexR int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = DefaultJobTimeout
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.Runners <= 0 {
+		c.Runners = DefaultRunners
+	}
+	if c.RefreezePoints <= 0 {
+		c.RefreezePoints = DefaultRefreezePoints
+	}
+	return c
+}
+
+// counters are the server-level monotonic counters exposed at /metrics.
+// All fields are atomics: they are bumped from handler and runner
+// goroutines without locks.
+type counters struct {
+	jobsAccepted  atomic.Int64
+	jobsRejected  atomic.Int64 // 429: queue full
+	jobsCompleted atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCanceled  atomic.Int64
+	jobsCoalesced atomic.Int64 // jobs that shared their batch with another job
+	batchesRun    atomic.Int64
+	variantsRun   atomic.Int64 // union variants executed across all batches
+	refreezes     atomic.Int64
+	datasets      atomic.Int64 // created, monotonic (live count is registry.len)
+}
+
+// Server is the vdbscand service state: registry, job store, batch queue,
+// and counters. Create one with New, expose Handler over any net/http
+// server, and call Drain before exit.
+type Server struct {
+	cfg Config
+
+	registry *registry
+	jobs     *jobStore
+
+	mu     sync.Mutex // guards open batches (per dataset) and seal/admit atomicity
+	open   map[string]*batch
+	queued int // admitted jobs whose batch has not started running
+
+	runCh    chan *batch
+	batchWG  sync.WaitGroup // one unit per sealed batch until its runner finishes
+	batchSeq atomic.Int64
+
+	draining atomic.Bool
+	closed   atomic.Bool
+
+	ctrs counters
+
+	workMu sync.Mutex
+	work   vdbscan.Work // accumulated across all batch runs
+
+	start time.Time
+}
+
+// New returns a started server: its batch runners are live and Handler is
+// ready to serve. Callers own shutdown via Drain and/or Close.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		registry: newRegistry(cfg),
+		jobs:     newJobStore(),
+		open:     map[string]*batch{},
+		// A batch holds ≥1 job and jobs are bounded by QueueDepth, so the
+		// channel can always absorb every sealed batch without blocking.
+		runCh: make(chan *batch, cfg.QueueDepth+1),
+		start: time.Now(),
+	}
+	for i := 0; i < cfg.Runners; i++ {
+		go s.runner()
+	}
+	return s
+}
+
+// runner executes sealed batches until the channel closes.
+func (s *Server) runner() {
+	for b := range s.runCh {
+		s.runBatch(b)
+		s.batchWG.Done()
+	}
+}
+
+// admit performs bounded-queue admission control and batch assignment for
+// one submitted job. It returns the job's batch, or an admissionError.
+func (s *Server) admit(j *job) error {
+	if s.draining.Load() {
+		return errDraining
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.queued >= s.cfg.QueueDepth {
+		s.ctrs.jobsRejected.Add(1)
+		return errQueueFull
+	}
+	s.queued++
+	s.ctrs.jobsAccepted.Add(1)
+
+	b := s.open[j.datasetID]
+	if b == nil {
+		b = newBatch(s.nextBatchID(), j.datasetID)
+		if s.cfg.BatchWindow > 0 {
+			s.open[j.datasetID] = b
+			b.timer = time.AfterFunc(s.cfg.BatchWindow, func() { s.seal(b) })
+		}
+	}
+	switch n := b.add(j); {
+	case n == 2:
+		// The batch just became shared: both members now count as coalesced.
+		s.ctrs.jobsCoalesced.Add(2)
+	case n > 2:
+		s.ctrs.jobsCoalesced.Add(1)
+	}
+	if s.cfg.BatchWindow <= 0 {
+		// Coalescing disabled: the batch seals with its single job.
+		s.sealLocked(b)
+	}
+	return nil
+}
+
+// seal closes a batch to new jobs and hands it to the runners.
+func (s *Server) seal(b *batch) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sealLocked(b)
+}
+
+func (s *Server) sealLocked(b *batch) {
+	if b.sealed {
+		return
+	}
+	b.sealed = true
+	if b.timer != nil {
+		b.timer.Stop()
+	}
+	if s.open[b.datasetID] == b {
+		delete(s.open, b.datasetID)
+	}
+	s.batchWG.Add(1)
+	s.runCh <- b
+}
+
+// sealAll flushes every open batching window (used by Drain so queued work
+// starts immediately instead of waiting out its window).
+func (s *Server) sealAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, b := range s.open {
+		s.sealLocked(b)
+	}
+}
+
+// jobLeftQueue is called once per job when its batch starts running (or
+// when a still-queued job is canceled), releasing its admission slot.
+func (s *Server) jobLeftQueue(n int) {
+	s.mu.Lock()
+	s.queued -= n
+	if s.queued < 0 { // defensive; indicates an accounting bug
+		s.queued = 0
+	}
+	s.mu.Unlock()
+}
+
+// queueDepth reports the current admission backlog.
+func (s *Server) queueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+func (s *Server) addWork(w vdbscan.Work) {
+	s.workMu.Lock()
+	s.work = s.work.Add(w)
+	s.workMu.Unlock()
+}
+
+func (s *Server) workSnapshot() vdbscan.Work {
+	s.workMu.Lock()
+	defer s.workMu.Unlock()
+	return s.work
+}
+
+func (s *Server) nextBatchID() string {
+	return fmt.Sprintf("b%d", s.batchSeq.Add(1))
+}
+
+// Drain gracefully quiesces the server: admission stops (submissions and
+// uploads get 503), open batching windows are flushed so queued jobs start
+// immediately, every running and queued batch finishes, and pending dataset
+// re-freezes are flushed. It returns nil when fully drained, or ctx's error
+// if the deadline expires first (work keeps finishing in the background).
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.sealAll()
+	done := make(chan struct{})
+	go func() {
+		s.batchWG.Wait()
+		s.registry.flushRefreezes()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops the batch runners. Call after Drain; batches still queued are
+// executed first (runners drain the channel before exiting is NOT
+// guaranteed by close semantics alone, hence Drain-first).
+func (s *Server) Close() {
+	if s.closed.CompareAndSwap(false, true) {
+		close(s.runCh)
+	}
+}
+
+// Draining reports whether the server has stopped admitting work.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/datasets", s.handleDatasetUpload)
+	mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
+	mux.HandleFunc("GET /v1/datasets/{id}", s.handleDatasetGet)
+	mux.HandleFunc("DELETE /v1/datasets/{id}", s.handleDatasetDelete)
+	mux.HandleFunc("POST /v1/datasets/{id}/points", s.handleDatasetAppend)
+	mux.HandleFunc("POST /v1/datasets/{id}/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/labels", s.handleJobLabels)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}

@@ -26,6 +26,28 @@
 // Each entry of run.Results holds the clustering for the corresponding
 // input parameters, with labels in the caller's point order (-1 = noise,
 // 1..NumClusters = cluster IDs).
+//
+// # Options
+//
+// Configuration is split in two tiers. IndexOption values (WithR,
+// WithBinWidth, WithFlatIndex, WithRefreezeThreshold) fix the physical
+// index layout and are accepted by NewIndex and NewIncremental. RunOption
+// values (WithThreads, WithIntraThreads, WithReuseScheme, WithStrategy,
+// WithMinSeedSize, WithoutReuse, WithContext, WithProgress) shape one
+// clustering run and are accepted by Index.Cluster and
+// Index.ClusterVariants. Observability attachments (WithWork, WithTracer)
+// implement both. Passing an option at the wrong tier — say,
+// WithRefreezeThreshold on ClusterVariants — is a compile-time error. The
+// one-shot conveniences (Cluster, ClusterVariants, NewIncremental) build an
+// index and run it, so they accept the whole Option set.
+//
+// # Errors
+//
+// Every error returned across this package's boundary is prefixed
+// "vdbscan: " and supports errors.Is / errors.As against the cause chain:
+// sentinel values (ErrFlatTooLarge, ErrDeleteUnsupported) and context
+// errors (context.Canceled, context.DeadlineExceeded from a WithContext
+// cancellation) are matchable through any wrapping this package adds.
 package vdbscan
 
 import (
@@ -113,8 +135,80 @@ func NewTracer() *Tracer { return obs.NewTracer() }
 // callback after each variant completes.
 type ProgressEvent = obs.ProgressEvent
 
-// Option configures an Index or a clustering run.
-type Option func(*config)
+// IndexOption configures index construction: NewIndex, NewIncremental, and
+// the one-shot conveniences accept it. Index options select the physical
+// layout of the shared R-trees (leaf occupancy, bin width, flat freezing,
+// streaming re-freeze cadence) and are fixed for the life of the Index.
+type IndexOption interface {
+	Option
+	indexOption()
+}
+
+// RunOption configures one clustering run: Index.Cluster,
+// Index.ClusterVariants, and the one-shot conveniences accept it. Run
+// options select scheduling, reuse, parallelism, cancellation, and
+// observability for that run only; the same Index can serve concurrent runs
+// with different run options.
+type RunOption interface {
+	Option
+	runOption()
+}
+
+// SharedOption is an option valid at either tier: it is both an
+// IndexOption and a RunOption. The observability attachments (WithWork,
+// WithTracer) return it, so they can be passed anywhere an option is
+// accepted.
+type SharedOption interface {
+	IndexOption
+	RunOption
+}
+
+// Option is any configuration option — the common supertype of IndexOption
+// and RunOption. Entry points that both build an index and run it (the
+// one-shot Cluster/ClusterVariants, NewIncremental) accept the full Option
+// set; heterogeneous option slices are declared as []Option.
+//
+// Deprecated: in signatures of new code, accept the precise IndexOption or
+// RunOption instead, so misuse (an index-layout knob on a run, a scheduling
+// knob at index build) is a compile-time error. Option remains so existing
+// callers keep compiling unchanged.
+type Option interface {
+	apply(*config)
+}
+
+// indexOpt is the concrete type of index-time-only options.
+type indexOpt func(*config)
+
+func (o indexOpt) apply(c *config) { o(c) }
+func (indexOpt) indexOption()      {}
+
+// runOpt is the concrete type of run-time-only options.
+type runOpt func(*config)
+
+func (o runOpt) apply(c *config) { o(c) }
+func (runOpt) runOption()        {}
+
+// sharedOpt is the concrete type of options valid in either position
+// (observability attachments); it implements both interfaces.
+type sharedOpt func(*config)
+
+func (o sharedOpt) apply(c *config) { o(c) }
+func (sharedOpt) indexOption()      {}
+func (sharedOpt) runOption()        {}
+
+// splitOptions partitions a mixed option list for the one-shot entry points
+// that construct an index and immediately run it.
+func splitOptions(opts []Option) (ix []IndexOption, run []RunOption) {
+	for _, o := range opts {
+		if io, ok := o.(IndexOption); ok {
+			ix = append(ix, io)
+		}
+		if ro, ok := o.(RunOption); ok {
+			run = append(run, ro)
+		}
+	}
+	return ix, run
+}
 
 type config struct {
 	ctx          context.Context
@@ -133,7 +227,7 @@ type config struct {
 	progress     func(ProgressEvent)
 }
 
-func buildConfig(opts []Option) config {
+func buildConfig[O Option](opts []O) config {
 	c := config{
 		ctx:      context.Background(),
 		r:        dbscan.DefaultR,
@@ -143,7 +237,7 @@ func buildConfig(opts []Option) config {
 		strategy: SchedGreedy,
 	}
 	for _, o := range opts {
-		o(&c)
+		o.apply(&c)
 	}
 	return c
 }
@@ -152,11 +246,11 @@ func buildConfig(opts []Option) config {
 // points indexed per minimum bounding box. Larger r trades extra candidate
 // filtering for fewer memory accesses; the paper finds 70–110 good in
 // degree-scaled TEC data (default 70).
-func WithR(r int) Option { return func(c *config) { c.r = r } }
+func WithR(r int) IndexOption { return indexOpt(func(c *config) { c.r = r }) }
 
 // WithBinWidth sets the width of the spatial sorting bins applied before
 // indexing (default 1, the paper's unit-width bins).
-func WithBinWidth(w float64) Option { return func(c *config) { c.binWidth = w } }
+func WithBinWidth(w float64) IndexOption { return indexOpt(func(c *config) { c.binWidth = w }) }
 
 // WithFlatIndex toggles the flat array-backed R-tree representation
 // (default on). After bulk loading, both trees are frozen into contiguous
@@ -165,7 +259,7 @@ func WithBinWidth(w float64) Option { return func(c *config) { c.binWidth = w } 
 // clustering output is byte-identical either way. Pass false to search
 // the pointer-based trees directly (the pre-freeze layout, mainly useful
 // for layout ablations).
-func WithFlatIndex(on bool) Option { return func(c *config) { c.noFlat = !on } }
+func WithFlatIndex(on bool) IndexOption { return indexOpt(func(c *config) { c.noFlat = !on }) }
 
 // WithThreads sets the number of worker goroutines T executing variants
 // concurrently (default 1). Above 1 it also enables two-level scheduling in
@@ -173,7 +267,7 @@ func WithFlatIndex(on bool) Option { return func(c *config) { c.noFlat = !on } }
 // donated to the running variants' intra-variant pools — and sets the auto
 // intra-variant width for single-variant Cluster calls, so WithThreads(8)
 // uses 8 cores whether you cluster one variant or eighty.
-func WithThreads(t int) Option { return func(c *config) { c.threads = t } }
+func WithThreads(t int) RunOption { return runOpt(func(c *config) { c.threads = t }) }
 
 // WithIntraThreads sets the number of goroutines working *inside* one
 // DBSCAN execution (intra-variant parallelism: chunked core-point marking
@@ -186,25 +280,25 @@ func WithThreads(t int) Option { return func(c *config) { c.threads = t } }
 // paper-faithful sequential execution everywhere. Note that
 // WithThreads(T) × WithIntraThreads(n) can oversubscribe T·n goroutines;
 // that is the caller's trade to make.
-func WithIntraThreads(n int) Option { return func(c *config) { c.intraThreads = n } }
+func WithIntraThreads(n int) RunOption { return runOpt(func(c *config) { c.intraThreads = n }) }
 
 // WithReuseScheme selects the cluster-reuse prioritization
 // (default ClusDensity).
-func WithReuseScheme(s ReuseScheme) Option { return func(c *config) { c.scheme = s } }
+func WithReuseScheme(s ReuseScheme) RunOption { return runOpt(func(c *config) { c.scheme = s }) }
 
 // WithStrategy selects the variant scheduling heuristic
 // (default SchedGreedy).
-func WithStrategy(s SchedStrategy) Option { return func(c *config) { c.strategy = s } }
+func WithStrategy(s SchedStrategy) RunOption { return runOpt(func(c *config) { c.strategy = s }) }
 
 // WithMinSeedSize excludes completed clusters smaller than n points from
 // reuse; their points are clustered from scratch instead. Sweeping a tiny
 // cluster's MBB can cost more ε-searches than copying it saves (default 0:
 // reuse every cluster).
-func WithMinSeedSize(n int) Option { return func(c *config) { c.minSeedSize = n } }
+func WithMinSeedSize(n int) RunOption { return runOpt(func(c *config) { c.minSeedSize = n }) }
 
 // WithoutReuse forces every variant to cluster from scratch, keeping only
 // the shared-index parallelism (the paper's scenario-S1 baseline).
-func WithoutReuse() Option { return func(c *config) { c.disableReuse = true } }
+func WithoutReuse() RunOption { return runOpt(func(c *config) { c.disableReuse = true }) }
 
 // WithRefreezeThreshold sets the streaming re-freeze trigger for
 // NewIncremental: once n mutations have been staged in the flat
@@ -215,32 +309,34 @@ func WithoutReuse() Option { return func(c *config) { c.disableReuse = true } }
 // incremental.DefaultRefreezeThreshold. Ignored by batch clustering,
 // where the index freezes exactly once. WithFlatIndex(false) disables
 // the snapshot machinery entirely.
-func WithRefreezeThreshold(n int) Option { return func(c *config) { c.refreezeN = n } }
+func WithRefreezeThreshold(n int) IndexOption { return indexOpt(func(c *config) { c.refreezeN = n }) }
 
 // WithWork records the run's accumulated work counters into w.
-func WithWork(w *Work) Option { return func(c *config) { c.work = w } }
+func WithWork(w *Work) SharedOption { return sharedOpt(func(c *config) { c.work = w }) }
 
 // WithTracer attaches an execution tracer to Cluster or ClusterVariants.
 // The tracer records structured span events at variant/phase granularity
 // (never per ε-search), so the clustering output and the hot-path
 // allocation behavior are identical with tracing on or off; a nil t is the
 // same as not passing the option.
-func WithTracer(t *Tracer) Option { return func(c *config) { c.tracer = t } }
+func WithTracer(t *Tracer) SharedOption { return sharedOpt(func(c *config) { c.tracer = t }) }
 
 // WithProgress registers a live progress callback for ClusterVariants,
 // invoked serially after each variant completes with the variants-done
 // count and the running mean reuse fraction. The callback runs on worker
 // goroutines — keep it fast and non-blocking.
-func WithProgress(f func(ProgressEvent)) Option { return func(c *config) { c.progress = f } }
+func WithProgress(f func(ProgressEvent)) RunOption {
+	return runOpt(func(c *config) { c.progress = f })
+}
 
 // WithContext attaches a cancellation context to ClusterVariants: when ctx
 // is canceled, no further variants start and the run returns ctx's error.
-func WithContext(ctx context.Context) Option {
-	return func(c *config) {
+func WithContext(ctx context.Context) RunOption {
+	return runOpt(func(c *config) {
 		if ctx != nil {
 			c.ctx = ctx
 		}
-	}
+	})
 }
 
 // Index is an immutable spatial index over one point database, shared by
@@ -250,10 +346,10 @@ type Index struct {
 	pts []Point
 }
 
-// NewIndex grid-sorts points and builds the shared R-trees. Only WithR,
-// WithBinWidth, and WithFlatIndex options apply. The input slice is not
+// NewIndex grid-sorts points and builds the shared R-trees (WithR,
+// WithBinWidth, WithFlatIndex select the layout). The input slice is not
 // retained or modified.
-func NewIndex(points []Point, opts ...Option) *Index {
+func NewIndex(points []Point, opts ...IndexOption) *Index {
 	c := buildConfig(opts)
 	cp := append([]Point(nil), points...)
 	return &Index{
@@ -275,7 +371,7 @@ func (x *Index) Points() []Point { return x.pts }
 // point order. It honors WithContext (cancellation is checked coarsely,
 // every ~1k points) and parallelizes across WithIntraThreads — or, in auto
 // mode, WithThreads — goroutines; the result is identical at any width.
-func (x *Index) Cluster(p Params, opts ...Option) (*Clustering, error) {
+func (x *Index) Cluster(p Params, opts ...RunOption) (*Clustering, error) {
 	c := buildConfig(opts)
 	width := c.intraThreads
 	if width == 0 {
@@ -299,7 +395,7 @@ func (x *Index) Cluster(p Params, opts ...Option) (*Clustering, error) {
 		rec.PhaseEnd(0, obs.PhaseScratch)
 	}
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
 	rec.Done(0, -1, 0, m.Snapshot())
 	c.tracer.EndRun(time.Since(start))
@@ -370,7 +466,7 @@ func (r *VariantRun) MeanFractionReused() float64 {
 // ClusterVariants executes every parameter variant with VariantDBSCAN:
 // variants run concurrently on WithThreads workers, reusing completed
 // variants' clusters whenever the inclusion criteria allow.
-func (x *Index) ClusterVariants(params []Params, opts ...Option) (*VariantRun, error) {
+func (x *Index) ClusterVariants(params []Params, opts ...RunOption) (*VariantRun, error) {
 	if len(params) == 0 {
 		return nil, fmt.Errorf("vdbscan: no variants given")
 	}
@@ -389,7 +485,7 @@ func (x *Index) ClusterVariants(params []Params, opts ...Option) (*VariantRun, e
 		Progress:     c.progress,
 	})
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
 	if c.work != nil {
 		*c.work = c.work.Add(m.Snapshot())
@@ -416,22 +512,26 @@ func (x *Index) ClusterVariants(params []Params, opts ...Option) (*VariantRun, e
 }
 
 // Cluster is the one-shot convenience: index points and run a single
-// DBSCAN variant.
+// DBSCAN variant. It accepts the full Option set (index and run options).
 func Cluster(points []Point, p Params, opts ...Option) (*Clustering, error) {
-	return NewIndex(points, opts...).Cluster(p, opts...)
+	ixOpts, runOpts := splitOptions(opts)
+	return NewIndex(points, ixOpts...).Cluster(p, runOpts...)
 }
 
 // ClusterVariants is the one-shot convenience: index points and run every
-// variant with VariantDBSCAN.
+// variant with VariantDBSCAN. It accepts the full Option set (index and run
+// options).
 func ClusterVariants(points []Point, params []Params, opts ...Option) (*VariantRun, error) {
-	return NewIndex(points, opts...).ClusterVariants(params, opts...)
+	ixOpts, runOpts := splitOptions(opts)
+	return NewIndex(points, ixOpts...).ClusterVariants(params, runOpts...)
 }
 
 // Quality scores candidate against reference with the per-point Jaccard
 // metric of paper §V-D: 1.0 means identical assignments; the paper reports
 // VariantDBSCAN ≥ 0.998 versus plain DBSCAN.
 func Quality(reference, candidate *Clustering) (float64, error) {
-	return quality.Score(reference, candidate)
+	q, err := quality.Score(reference, candidate)
+	return q, wrapErr(err)
 }
 
 // CanReuse reports whether a variant with parameters target may reuse the

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -440,10 +441,12 @@ func TestClusterHonorsContextCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	p := Params{Eps: 3, MinPts: 4}
-	if _, err := idx.Cluster(p, WithContext(ctx)); err != context.Canceled {
+	// The facade wraps internal errors ("vdbscan: ..."); the contract is
+	// errors.Is matchability, not identity.
+	if _, err := idx.Cluster(p, WithContext(ctx)); !errors.Is(err, context.Canceled) {
 		t.Fatalf("sequential: err = %v, want context.Canceled", err)
 	}
-	if _, err := idx.Cluster(p, WithContext(ctx), WithIntraThreads(4)); err != context.Canceled {
+	if _, err := idx.Cluster(p, WithContext(ctx), WithIntraThreads(4)); !errors.Is(err, context.Canceled) {
 		t.Fatalf("parallel: err = %v, want context.Canceled", err)
 	}
 }
@@ -456,7 +459,7 @@ func TestClusterVariantsTwoLevel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, opts := range [][]Option{
+	for _, opts := range [][]RunOption{
 		{WithThreads(4)},                                      // donation-only two-level
 		{WithThreads(2), WithIntraThreads(2)},                 // explicit width
 		{WithThreads(4), WithIntraThreads(2), WithoutReuse()}, // all from scratch
