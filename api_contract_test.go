@@ -19,6 +19,7 @@ var (
 	_ IndexOption = WithR(70)
 	_ IndexOption = WithBinWidth(1)
 	_ IndexOption = WithFlatIndex(true)
+	_ IndexOption = WithIndexKind(IndexGrid)
 	_ IndexOption = WithRefreezeThreshold(64)
 
 	_ RunOption = WithThreads(2)

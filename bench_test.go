@@ -589,7 +589,7 @@ func BenchmarkAblationGridVsRTree(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := gridindex.Run(gix, tecParams, nil); err != nil {
+			if _, err := gridindex.Run(gix, tecParams.Eps, tecParams.MinPts, nil); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -610,7 +610,7 @@ func BenchmarkAblationGridVsRTree(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := gridindex.Run(gix, dbscan.Params{Eps: e, MinPts: 4}, nil); err != nil {
+				if _, err := gridindex.Run(gix, e, 4, nil); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -657,7 +657,7 @@ func BenchmarkIndexShootout(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := gridindex.Run(gix, p, nil); err != nil {
+			if _, err := gridindex.Run(gix, p.Eps, p.MinPts, nil); err != nil {
 				b.Fatal(err)
 			}
 		}

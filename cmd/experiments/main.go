@@ -2,8 +2,8 @@
 //
 // Usage:
 //
-//	experiments [-exp all|table1|table2|table3|table4|fig4|fig5|fig6|fig7|fig8|fig9]
-//	            [-scale 0.01] [-threads 16] [-r 70] [-seed N]
+//	experiments [-exp all|table1|table2|table3|table4|fig4|fig5|fig6|fig7|fig8|fig9|indexkinds]
+//	            [-scale 0.01] [-threads 16] [-r 70] [-index rtree|grid] [-seed N]
 //	            [-trace out.json] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -scale multiplies every dataset's |D| (1 reproduces the paper's sizes; the
@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"vdbscan/internal/bench"
+	"vdbscan/internal/cliutil"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 	scale := flag.Float64("scale", 0.01, "dataset size scale factor in (0,1]")
 	threads := flag.Int("threads", 16, "worker pool size T for multithreaded scenarios")
 	r := flag.Int("r", 70, "epsilon-search tree leaf occupancy (points per MBB)")
+	indexKind := flag.String("index", "rtree", "eps-search index structure: rtree or grid")
 	seed := flag.Uint64("seed", 0xDB5CA7, "dataset generation seed")
 	trials := flag.Int("trials", 1, "repetitions averaged per timed measurement (paper: 3)")
 	tracePath := flag.String("trace", "", "write a Chrome trace of the demonstration workload to this file")
@@ -65,16 +67,22 @@ func main() {
 	if *memProfile != "" {
 		defer writeHeapProfile(*memProfile)
 	}
+	kindVal, err := cliutil.ParseIndexKind(*indexKind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
 	s := bench.NewSuite(*scale, os.Stdout)
 	s.Threads = *threads
 	s.R = *r
+	s.IndexKind = kindVal
 	s.Seed = *seed
 	s.Trials = *trials
 	s.TracePath = *tracePath
 
 	fmt.Printf("VariantDBSCAN experiment harness\n")
-	fmt.Printf("scale=%g (eps x%.2f), threads=%d, r=%d, trials=%d, seed=%#x\n",
-		*scale, s.EpsFactor(), s.Threads, s.R, s.Trials, s.Seed)
+	fmt.Printf("scale=%g (eps x%.2f), threads=%d, r=%d, index=%s, trials=%d, seed=%#x\n",
+		*scale, s.EpsFactor(), s.Threads, s.R, s.IndexKind, s.Trials, s.Seed)
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

@@ -34,6 +34,7 @@ func main() {
 	bList := flag.String("B", "", "minpts values: comma list (4,8,16) or range lo:hi:step (10:100:5)")
 	threads := flag.Int("threads", 1, "worker goroutines")
 	r := flag.Int("r", 70, "points per leaf MBB in the eps-search tree")
+	indexKind := flag.String("index", "rtree", "eps-search index structure: rtree or grid")
 	scheme := flag.String("reuse", "density", "cluster reuse scheme: default, density, ptssquared")
 	strategy := flag.String("sched", "greedy", "scheduling heuristic: greedy, minpts, tree")
 	labelsOut := flag.String("labels", "", "write per-point labels CSV here (variant runs write one .vN file per variant)")
@@ -59,8 +60,12 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	kindVal, err := cliutil.ParseIndexKind(*indexKind)
+	if err != nil {
+		fail(err)
+	}
 
-	idx := vdbscan.NewIndex(ds.Points, vdbscan.WithR(*r))
+	idx := vdbscan.NewIndex(ds.Points, vdbscan.WithR(*r), vdbscan.WithIndexKind(kindVal))
 
 	if *aList != "" || *bList != "" {
 		A, err := cliutil.ParseFloats(*aList)

@@ -16,7 +16,7 @@
 //
 // Endpoints (see internal/server for the full contract):
 //
-//	POST   /v1/datasets            upload a CSV dataset (?name=, ?r=)
+//	POST   /v1/datasets            upload a CSV dataset (?name=, ?r=, ?index=)
 //	POST   /v1/datasets/{id}/jobs  submit a variant list, get a job ID
 //	GET    /v1/jobs/{id}           poll (?wait=10s long-polls)
 //	GET    /v1/jobs/{id}/labels    per-variant labels CSV (?variant=N)
@@ -60,6 +60,7 @@ type envDefaults struct {
 	runners      int
 	refreeze     int
 	r            int
+	index        string
 	batchWindow  time.Duration
 	jobTimeout   time.Duration
 	drainTimeout time.Duration
@@ -83,6 +84,7 @@ func loadEnv() (envDefaults, error) {
 	if d.r, err = cliutil.EnvIntOr("VDBSCAND_R", 0); err != nil {
 		return d, err
 	}
+	d.index = cliutil.EnvOr("VDBSCAND_INDEX", "rtree")
 	if d.batchWindow, err = cliutil.EnvDurationOr("VDBSCAND_BATCH_WINDOW", 0); err != nil {
 		return d, err
 	}
@@ -106,12 +108,17 @@ func run() error {
 	runners := flag.Int("runners", env.runners, "concurrent batch runs")
 	refreeze := flag.Int("refreeze", env.refreeze, "staged points that trigger a dataset re-freeze")
 	leafR := flag.Int("r", env.r, "eps-search tree leaf occupancy for uploads (0 = library default)")
+	indexKind := flag.String("index", env.index, "eps-search index structure for uploads: rtree or grid")
 	batchWindow := flag.Duration("batch-window", env.batchWindow,
 		"coalesce same-dataset jobs arriving within this window (0 disables)")
 	jobTimeout := flag.Duration("job-timeout", env.jobTimeout, "default per-job deadline")
 	drainTimeout := flag.Duration("drain-timeout", env.drainTimeout, "max time to drain on SIGTERM")
 	flag.Parse()
 
+	kindVal, err := cliutil.ParseIndexKind(*indexKind)
+	if err != nil {
+		return err
+	}
 	srv := server.New(server.Config{
 		Threads:        *threads,
 		QueueDepth:     *queue,
@@ -120,6 +127,7 @@ func run() error {
 		Runners:        *runners,
 		RefreezePoints: *refreeze,
 		IndexR:         *leafR,
+		IndexKind:      kindVal,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -1,0 +1,116 @@
+package vdbscan
+
+import (
+	"fmt"
+	"testing"
+)
+
+// samePartition requires a and b to be the exact same clustering up to
+// cluster renumbering: identical noise sets and a label bijection. This is
+// the right cross-run comparison when execution order (threads > 1, reuse
+// source selection) may renumber clusters without changing membership.
+func samePartition(t *testing.T, got, want *Clustering, tag string) {
+	t.Helper()
+	if got.NumClusters != want.NumClusters {
+		t.Fatalf("%s: clusters %d vs %d", tag, got.NumClusters, want.NumClusters)
+	}
+	if len(got.Labels) != len(want.Labels) {
+		t.Fatalf("%s: lengths %d vs %d", tag, len(got.Labels), len(want.Labels))
+	}
+	fwd := map[int32]int32{}
+	rev := map[int32]int32{}
+	for i := range want.Labels {
+		g, w := got.Labels[i], want.Labels[i]
+		if (g <= 0) != (w <= 0) {
+			t.Fatalf("%s: point %d noise mismatch: %d vs %d", tag, i, g, w)
+		}
+		if w <= 0 {
+			continue
+		}
+		if m, ok := fwd[g]; ok && m != w {
+			t.Fatalf("%s: cluster %d maps to both %d and %d", tag, g, m, w)
+		}
+		if m, ok := rev[w]; ok && m != g {
+			t.Fatalf("%s: cluster %d mapped from both %d and %d", tag, w, m, g)
+		}
+		fwd[g], rev[w] = w, g
+	}
+}
+
+// TestIndexKindLabelEquivalence is the end-to-end cross-kind property:
+// ClusterVariants on an IndexGrid index must agree exactly with the
+// IndexRTree index under the same settings, for every variant, at every
+// worker width, with reuse on and off. Both substrates answer every
+// ε-search exactly, so the clusterings must be the same partition; at
+// threads=1 the schedule is deterministic too, so the raw label slices
+// must be byte-identical.
+func TestIndexKindLabelEquivalence(t *testing.T) {
+	pts := testPoints(t, 8000)
+	params := CartesianVariants([]float64{1.5, 2, 3}, []int{4, 8})
+
+	rtreeIdx := NewIndex(pts, WithIndexKind(IndexRTree))
+	gridIdx := NewIndex(pts, WithIndexKind(IndexGrid))
+
+	for _, threads := range []int{1, 2, 4, 8} {
+		for _, reuse := range []bool{true, false} {
+			opts := []RunOption{WithThreads(threads)}
+			if !reuse {
+				opts = append(opts, WithoutReuse())
+			}
+			t.Run(fmt.Sprintf("threads=%d/reuse=%v", threads, reuse), func(t *testing.T) {
+				want, err := rtreeIdx.ClusterVariants(params, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := gridIdx.ClusterVariants(params, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for vi := range params {
+					tag := params[vi].String()
+					g, w := got.Results[vi].Clustering, want.Results[vi].Clustering
+					samePartition(t, g, w, tag)
+					if threads == 1 {
+						for i := range w.Labels {
+							if g.Labels[i] != w.Labels[i] {
+								t.Fatalf("%s: label[%d] = %d, want %d (byte-identity at threads=1)",
+									tag, i, g.Labels[i], w.Labels[i])
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestIndexKindSingleCluster pins the single-variant path (Index.Cluster)
+// and the intra-variant parallel path across kinds: byte-identical labels
+// at any width (intra-variant parallelism is deterministic by design).
+func TestIndexKindSingleCluster(t *testing.T) {
+	pts := testPoints(t, 6000)
+	p := Params{Eps: 2.5, MinPts: 5}
+	want, err := NewIndex(pts).Cluster(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridIdx := NewIndex(pts, WithIndexKind(IndexGrid))
+	for _, intra := range []int{0, 1, 4} {
+		var opts []RunOption
+		if intra > 0 {
+			opts = append(opts, WithIntraThreads(intra))
+		}
+		got, err := gridIdx.Cluster(p, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumClusters != want.NumClusters {
+			t.Fatalf("intra=%d: clusters %d vs %d", intra, got.NumClusters, want.NumClusters)
+		}
+		for i := range want.Labels {
+			if got.Labels[i] != want.Labels[i] {
+				t.Fatalf("intra=%d: label[%d] = %d, want %d", intra, i, got.Labels[i], want.Labels[i])
+			}
+		}
+	}
+}

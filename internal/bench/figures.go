@@ -315,6 +315,8 @@ func (s *Suite) Run(id string) error {
 		return s.Fig8()
 	case "fig9":
 		return s.Fig9()
+	case "indexkinds":
+		return s.IndexKinds()
 	case "ablations":
 		return s.Ablations()
 	case "trace":
@@ -328,7 +330,7 @@ func (s *Suite) Run(id string) error {
 // Experiments lists the valid experiment IDs in paper order.
 var Experiments = []string{
 	"fig1", "table1", "table2", "fig4", "table3", "fig5", "fig6", "fig7",
-	"table4", "fig8", "fig9", "ablations", "trace",
+	"table4", "fig8", "fig9", "indexkinds", "ablations", "trace",
 }
 
 // Fig1 regenerates Figure 1's content as text: the thresholded TEC map of

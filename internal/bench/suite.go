@@ -38,6 +38,10 @@ type Suite struct {
 	// TracePath, when non-empty, is where Trace writes its Chrome
 	// trace-event JSON (the plain-text timeline always goes to Out).
 	TracePath string
+	// IndexKind selects the ε-search substrate every scenario runs on
+	// (IndexRTree when zero). The "indexkinds" experiment ignores it and
+	// runs both kinds head-to-head.
+	IndexKind dbscan.IndexKind
 
 	datasets map[string]*data.Dataset
 	indexes  map[string]*dbscan.Index // keyed by name/r
@@ -168,13 +172,20 @@ func parseSynthName(name string) (data.SynthClass, int, float64, error) {
 	return class, n, noisePct / 100, nil
 }
 
-// index returns a cached shared index for a dataset at leaf occupancy r.
+// index returns a cached shared index for a dataset at leaf occupancy r,
+// built with the suite's configured index kind.
 func (s *Suite) index(ds *data.Dataset, r int) *dbscan.Index {
-	key := fmt.Sprintf("%s/%d", ds.Name, r)
+	return s.indexKind(ds, r, s.IndexKind)
+}
+
+// indexKind is index with an explicit substrate (used by the head-to-head
+// experiment, which needs both kinds over one dataset).
+func (s *Suite) indexKind(ds *data.Dataset, r int, kind dbscan.IndexKind) *dbscan.Index {
+	key := fmt.Sprintf("%s/%d/%s", ds.Name, r, kind)
 	if ix, ok := s.indexes[key]; ok {
 		return ix
 	}
-	ix := dbscan.BuildIndex(ds.Points, dbscan.IndexOptions{R: r})
+	ix := dbscan.BuildIndex(ds.Points, dbscan.IndexOptions{R: r, Kind: kind})
 	s.indexes[key] = ix
 	return ix
 }
@@ -226,7 +237,14 @@ func (s *Suite) refRun(ds *data.Dataset, vs []variant.Variant) (time.Duration, m
 func (s *Suite) vdbRun(ds *data.Dataset, vs []variant.Variant, threads int,
 	scheme reuse.Scheme, strategy sched.Strategy, disableReuse bool, r int,
 ) (*sched.RunResult, time.Duration, metrics.Snapshot, error) {
-	ix := s.index(ds, r)
+	return s.vdbRunIx(s.index(ds, r), vs, threads, scheme, strategy, disableReuse)
+}
+
+// vdbRunIx is vdbRun over an explicitly built index (the head-to-head
+// experiment times the same variant set on different substrates).
+func (s *Suite) vdbRunIx(ix *dbscan.Index, vs []variant.Variant, threads int,
+	scheme reuse.Scheme, strategy sched.Strategy, disableReuse bool,
+) (*sched.RunResult, time.Duration, metrics.Snapshot, error) {
 	var m metrics.Counters
 	var rr *sched.RunResult
 	mean, err := s.timeTrials(func() error {

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"vdbscan/internal/dbscan"
 	"vdbscan/internal/reuse"
 	"vdbscan/internal/sched"
 )
@@ -126,6 +127,19 @@ func ParseRange(s string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// ParseIndexKind maps CLI spellings ("rtree", "grid"; empty = rtree) to
+// index kinds.
+func ParseIndexKind(name string) (dbscan.IndexKind, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "rtree":
+		return dbscan.IndexRTree, nil
+	case "grid":
+		return dbscan.IndexGrid, nil
+	default:
+		return 0, fmt.Errorf("cliutil: unknown index kind %q (want rtree or grid)", name)
+	}
 }
 
 // ParseScheme maps CLI spellings to reuse schemes.

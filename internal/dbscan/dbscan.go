@@ -18,13 +18,43 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"vdbscan/internal/cluster"
 	"vdbscan/internal/geom"
 	"vdbscan/internal/grid"
+	"vdbscan/internal/gridindex"
+	"vdbscan/internal/kernel"
 	"vdbscan/internal/metrics"
 	"vdbscan/internal/rtree"
 )
+
+// IndexKind selects the ε-search substrate an Index routes through.
+type IndexKind int
+
+const (
+	// IndexRTree is the paper's packed R-tree pair (the default): T_low
+	// serves ε-searches, T_high serves cluster-MBB sweeps.
+	IndexRTree IndexKind = iota
+	// IndexGrid routes ε-searches through a flat uniform cell grid
+	// (gridindex.Flat) sized for the variant set's largest ε. The R-trees
+	// are still built — T_high keeps serving the cluster-MBB sweeps that
+	// reuse depends on, and T_low remains the fallback until the grid is
+	// built (EnsureGrid) — but every steady-state ε-search becomes three
+	// contiguous block-kernel scans.
+	IndexGrid
+)
+
+// String implements fmt.Stringer ("rtree" / "grid").
+func (k IndexKind) String() string {
+	switch k {
+	case IndexGrid:
+		return "grid"
+	default:
+		return "rtree"
+	}
+}
 
 // DefaultR is the T_low leaf occupancy used when the caller does not choose
 // one. The paper finds 70 ≤ r ≤ 110 consistently good (§V-C); 70 matches the
@@ -64,6 +94,22 @@ type Index struct {
 	FlatLow  *rtree.Flat
 	FlatHigh *rtree.Flat
 
+	// Kind selects the ε-search substrate. IndexGrid routes searches
+	// through the cell grid below once EnsureGrid has built it; until
+	// then (and whenever the grid cannot serve a query) searches fall
+	// back to the R-tree path, which is always correct.
+	Kind IndexKind
+
+	// grid is the frozen cell grid serving ε-searches when Kind is
+	// IndexGrid. It is built lazily by EnsureGrid — the variant set's max
+	// ε is not known at BuildIndex time — and installed atomically so
+	// concurrent searches either see a complete grid or fall back.
+	// Points inserted after the grid build are covered by an append-only
+	// tail scan (grid.Len() marks the covered prefix of Pts; Delete is
+	// unsupported, so the prefix stays exact).
+	grid   atomic.Pointer[gridindex.Flat]
+	gridMu sync.Mutex // serializes EnsureGrid builds
+
 	// ov stages post-Freeze insertions so the frozen views stay usable:
 	// searches merge the flat results with this delta instead of
 	// abandoning the fast path. Re-freezing folds it into fresh views.
@@ -85,6 +131,8 @@ type IndexOptions struct {
 	// pointer-based trees (the pre-flat layout, kept for ablations and
 	// as the vdbscan.WithFlatIndex(false) escape hatch).
 	NoFlat bool
+	// Kind selects the ε-search substrate (IndexRTree when zero).
+	Kind IndexKind
 }
 
 func (o IndexOptions) withDefaults() IndexOptions {
@@ -105,6 +153,7 @@ func BuildIndex(pts []geom.Point, opt IndexOptions) *Index {
 	ix := &Index{
 		Pts:  sorted,
 		Fwd:  fwd,
+		Kind: opt.Kind,
 		TLow: rtree.BulkLoad(sorted, rtree.Options{R: opt.R, Fanout: opt.Fanout}),
 	}
 	if !opt.SkipHigh {
@@ -134,7 +183,56 @@ func (ix *Index) Freeze() {
 	if ix.THigh != nil {
 		ix.FlatHigh = ix.THigh.CompactWithCoords(ix.X, ix.Y)
 	}
+	// Fold staged insertions into the cell grid too, keeping its side:
+	// the tail scan stays correct without this, but re-freezing is the
+	// point where the holder pays O(n) to restore the pure fast path.
+	if g := ix.grid.Load(); g != nil && g.Len() != len(ix.Pts) {
+		if ng, err := gridindex.Freeze(ix.X, ix.Y, g.Side()); err == nil {
+			ix.grid.Store(ng)
+		}
+	}
 	ix.ov.Reset()
+}
+
+// Grid exposes the installed cell grid (nil until EnsureGrid has run on
+// an IndexGrid index). Read-only.
+func (ix *Index) Grid() *gridindex.Flat { return ix.grid.Load() }
+
+// EnsureGrid builds (or rebuilds) the cell grid serving ε-searches when
+// Kind is IndexGrid; for other kinds it is a no-op. maxEps should be the
+// largest ε the caller is about to run — the variant set's max — so one
+// build serves every variant: the grid's cell side is at least maxEps,
+// and smaller-ε searches just filter more candidates per cell. Larger-ε
+// searches also stay exact (the scanned block widens), so an existing
+// grid is only rebuilt when its side is smaller than maxEps or when
+// points were inserted since it was built. Safe for concurrent callers;
+// searches racing a rebuild use whichever complete grid they observe.
+func (ix *Index) EnsureGrid(maxEps float64) error {
+	if ix.Kind != IndexGrid || !(maxEps > 0) {
+		return nil
+	}
+	if g := ix.grid.Load(); g != nil && g.Side() >= maxEps && g.Len() == len(ix.Pts) {
+		return nil
+	}
+	ix.gridMu.Lock()
+	defer ix.gridMu.Unlock()
+	if g := ix.grid.Load(); g != nil && g.Side() >= maxEps && g.Len() == len(ix.Pts) {
+		return nil
+	}
+	x, y := ix.X, ix.Y
+	if x == nil || len(x) != len(ix.Pts) {
+		x = make([]float64, len(ix.Pts))
+		y = make([]float64, len(ix.Pts))
+		for i, p := range ix.Pts {
+			x[i], y[i] = p.X, p.Y
+		}
+	}
+	g, err := gridindex.Freeze(x, y, maxEps)
+	if err != nil {
+		return err
+	}
+	ix.grid.Store(g)
+	return nil
 }
 
 // ErrDeleteUnsupported is returned by Index.Delete: every execution path
@@ -253,6 +351,33 @@ func (ix *Index) NeighborSearchLocal(p geom.Point, eps float64, l *metrics.Local
 // across calls); the pointer path remains as the NoFlat fallback and
 // produces byte-identical output.
 func (ix *Index) neighborSearch(p geom.Point, eps float64, dst []int32) (out []int32, candidates, nodes int64) {
+	if ix.Kind == IndexGrid {
+		if g := ix.grid.Load(); g != nil {
+			out, c, n := g.EpsSearch(p, eps, dst)
+			candidates, nodes = int64(c), int64(n)
+			// Append-only tail merge: points inserted after the grid
+			// build live at indices ≥ g.Len() (Delete is unsupported, so
+			// the covered prefix is exact). The tail is tiny between
+			// re-freezes; the block kernel scans it when the SoA slices
+			// cover it, the per-point loop otherwise.
+			if n0 := g.Len(); n0 < len(ix.Pts) {
+				candidates += int64(len(ix.Pts) - n0)
+				epsSq := eps * eps
+				if len(ix.X) == len(ix.Pts) {
+					out = kernel.FilterEps(out, ix.X[n0:], ix.Y[n0:], int32(n0), p.X, p.Y, epsSq)
+				} else {
+					for i := n0; i < len(ix.Pts); i++ {
+						if p.DistSq(ix.Pts[i]) <= epsSq {
+							out = append(out, int32(i))
+						}
+					}
+				}
+			}
+			return out, candidates, nodes
+		}
+		// No grid yet (EnsureGrid not called, or its build failed): the
+		// R-tree path below is always current and byte-identical.
+	}
 	if fresh, overlaid := ix.flatLowCurrent(); fresh {
 		out, c, n := ix.FlatLow.EpsSearch(p, eps, dst)
 		return out, int64(c), int64(n)
@@ -339,6 +464,9 @@ const cancelCheckInterval = 1024
 // returned (with no partial result) once observed.
 func RunCtx(ctx context.Context, ix *Index, p Params, m *metrics.Counters) (*cluster.Result, error) {
 	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ix.EnsureGrid(p.Eps); err != nil {
 		return nil, err
 	}
 	n := ix.Len()
@@ -465,6 +593,7 @@ func RunBruteForce(pts []geom.Point, p Params, m *metrics.Counters) (*cluster.Re
 // CorePoints returns, in sorted index space, whether each point is a core
 // point under p. Exposed for tests and the OPTICS cross-checks.
 func CorePoints(ix *Index, p Params, m *metrics.Counters) []bool {
+	_ = ix.EnsureGrid(p.Eps) // a failed build just leaves the R-tree path
 	n := ix.Len()
 	core := make([]bool, n)
 	scratch := make([]int32, 0, 256)

@@ -94,6 +94,9 @@ func RunParallelOpts(ctx context.Context, ix *Index, p Params, opt ParallelOptio
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if err := ix.EnsureGrid(p.Eps); err != nil {
+		return nil, err
+	}
 	n := ix.Len()
 	res := cluster.NewResult(n)
 	if n == 0 {

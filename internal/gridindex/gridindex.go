@@ -1,34 +1,86 @@
 // Package gridindex provides a uniform-grid neighbor index — the classic
-// alternative to the R-tree for DBSCAN ε-searches (used by G-DBSCAN and
-// most GPU implementations the paper surveys in §III).
+// alternative to the R-tree for DBSCAN ε-searches (the structure behind
+// G-DBSCAN, de Berg et al.'s faster sequential DBSCAN, and most GPU
+// implementations the paper surveys in §III).
 //
-// Points are bucketed into square cells of side ε; an ε-search inspects the
-// 3×3 cell block around the query point and distance-filters. Compared to
+// Points are bucketed into square cells of side ≥ ε; an ε-search inspects
+// the cell block around the query point and distance-filters. Compared to
 // the paper's packed R-tree:
 //
-//   - the grid is ε-specific — a different ε needs a rebuild (or a cell
-//     side chosen for the largest ε, degrading smaller-ε searches), whereas
-//     ONE pair of R-trees serves every variant: exactly the property
-//     variant-based parallelism needs;
-//   - for a single ε the grid's O(1) cell addressing is hard to beat.
+//   - the grid's side is chosen at build time — a larger ε than the side
+//     widens the scanned block, so one build sized for the variant set's
+//     max ε serves every variant (smaller ε just filters more candidates
+//     per cell);
+//   - for point sets without extreme density skew the grid's O(1) cell
+//     addressing and purely sequential candidate runs are hard to beat.
 //
-// The ablation benchmarks quantify this trade; the package also serves as
-// an independent oracle for the R-tree's search results.
+// Two implementations live here:
+//
+//   - Index: the original pointer-chasing ([][]int32 buckets) build. It
+//     stays as the readable reference and as an independent oracle for
+//     the production layouts' search results.
+//   - Flat: the production layout, mirroring rtree.Flat's freeze design.
+//     Coordinates are grid-sorted into struct-of-arrays slices with a CSR
+//     cellStart array, so a search touches three contiguous runs (one per
+//     cell row of the 3×3 block) and hands each to the shared block
+//     kernel. Steady-state searches allocate nothing.
+//
+// Both builds cap the total cell count (MaxCells): a tiny ε over a wide
+// extent coarsens the side instead of allocating cols·rows without bound —
+// coarser is always correct because searches only require eps ≤ side.
 package gridindex
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"vdbscan/internal/cluster"
-	"vdbscan/internal/dbscan"
 	"vdbscan/internal/geom"
+	"vdbscan/internal/kernel"
 	"vdbscan/internal/metrics"
 )
 
-// Index is a uniform grid over a point set with cell side = ε.
+// MaxCells caps cols·rows for any grid build. 2²¹ cells keep the CSR
+// offsets array at 8 MiB worst case; builds whose requested side would
+// exceed the cap coarsen the side until it fits.
+const MaxCells = 1 << 21
+
+// ErrGridTooLarge mirrors rtree.ErrFlatTooLarge: the point set exceeds
+// int32 addressing, or its bounding box is non-finite (NaN/±Inf
+// coordinates), so no grid geometry can cover it.
+var ErrGridTooLarge = errors.New("gridindex: point set too large or bounds non-finite for grid layout")
+
+// gridShape picks the cell geometry for a bounding box: the number of
+// columns and rows at the requested side, coarsening the side until the
+// total cell count fits MaxCells. Degenerate geometry (NaN/Inf spans)
+// returns ErrGridTooLarge.
+func gridShape(b geom.MBB, side float64) (cols, rows int, outSide float64, err error) {
+	if !(side > 0) || math.IsInf(side, 0) {
+		return 0, 0, 0, fmt.Errorf("gridindex: cell side must be positive and finite, got %g", side)
+	}
+	spanX, spanY := b.MaxX-b.MinX, b.MaxY-b.MinY
+	for {
+		fcols := math.Floor(spanX/side) + 1
+		frows := math.Floor(spanY/side) + 1
+		if !(fcols >= 1) || !(frows >= 1) { // NaN span or NaN side
+			return 0, 0, 0, ErrGridTooLarge
+		}
+		if fcols*frows <= MaxCells {
+			return int(fcols), int(frows), side, nil
+		}
+		// Coarsen just past the cap; the 1.001 margin absorbs float
+		// rounding so the loop converges in one or two iterations.
+		side *= math.Sqrt(fcols * frows / float64(MaxCells)) * 1.001
+	}
+}
+
+// Index is a uniform grid over a point set, cell side ≥ the requested ε
+// (coarsened when the extent would exceed MaxCells).
 type Index struct {
 	pts     []geom.Point
-	eps     float64
+	eps     float64 // requested build ε
+	side    float64 // actual cell side (≥ eps)
 	originX float64
 	originY float64
 	cols    int
@@ -37,19 +89,26 @@ type Index struct {
 	cellPts [][]int32 // cell -> points
 }
 
-// Build buckets pts into cells of side eps. eps must be positive.
+// Build buckets pts into cells of side eps (coarsened to respect
+// MaxCells). eps must be positive and finite.
 func Build(pts []geom.Point, eps float64) (*Index, error) {
 	if eps <= 0 {
 		return nil, fmt.Errorf("gridindex: eps must be > 0, got %g", eps)
 	}
-	ix := &Index{pts: pts, eps: eps}
+	if int64(len(pts)) > math.MaxInt32 {
+		return nil, ErrGridTooLarge
+	}
+	ix := &Index{pts: pts, eps: eps, side: eps}
 	if len(pts) == 0 {
 		return ix, nil
 	}
 	b := geom.MBBOfPoints(pts)
+	var err error
+	ix.cols, ix.rows, ix.side, err = gridShape(b, eps)
+	if err != nil {
+		return nil, err
+	}
 	ix.originX, ix.originY = b.MinX, b.MinY
-	ix.cols = int((b.MaxX-b.MinX)/eps) + 1
-	ix.rows = int((b.MaxY-b.MinY)/eps) + 1
 	ix.cellPts = make([][]int32, ix.cols*ix.rows)
 	ix.cellOf = make([]int32, len(pts))
 	for i, p := range pts {
@@ -63,8 +122,8 @@ func Build(pts []geom.Point, eps float64) (*Index, error) {
 // cell maps a point to its cell id; points are inside the bounding box by
 // construction.
 func (ix *Index) cell(p geom.Point) int32 {
-	col := int((p.X - ix.originX) / ix.eps)
-	row := int((p.Y - ix.originY) / ix.eps)
+	col := int((p.X - ix.originX) / ix.side)
+	row := int((p.Y - ix.originY) / ix.side)
 	if col >= ix.cols {
 		col = ix.cols - 1
 	}
@@ -77,24 +136,28 @@ func (ix *Index) cell(p geom.Point) int32 {
 // Len returns the number of indexed points.
 func (ix *Index) Len() int { return len(ix.pts) }
 
-// Eps returns the cell side the grid was built for.
+// Eps returns the ε the grid was built for.
 func (ix *Index) Eps() float64 { return ix.eps }
 
+// Side returns the actual cell side (≥ Eps when the build coarsened).
+func (ix *Index) Side() float64 { return ix.side }
+
 // NeighborSearch appends the indices of points within eps of q to dst.
-// eps must not exceed the build ε (the 3×3 block would miss neighbors);
+// eps must not exceed the cell side (the 3×3 block would miss neighbors);
 // smaller eps is allowed but filters more candidates per cell.
 func (ix *Index) NeighborSearch(q geom.Point, eps float64, m *metrics.Counters, dst []int32) ([]int32, error) {
-	if eps > ix.eps {
-		return dst, fmt.Errorf("gridindex: search eps %g exceeds build eps %g", eps, ix.eps)
+	if eps > ix.side {
+		return dst, fmt.Errorf("gridindex: search eps %g exceeds cell side %g", eps, ix.side)
 	}
 	if len(ix.pts) == 0 {
 		m.AddNeighborSearches(1)
 		return dst, nil
 	}
 	epsSq := eps * eps
-	col := int((q.X - ix.originX) / ix.eps)
-	row := int((q.Y - ix.originY) / ix.eps)
+	col := int((q.X - ix.originX) / ix.side)
+	row := int((q.Y - ix.originY) / ix.side)
 	candidates := int64(0)
+	found := 0
 	for dr := -1; dr <= 1; dr++ {
 		r := row + dr
 		if r < 0 || r >= ix.rows {
@@ -109,25 +172,29 @@ func (ix *Index) NeighborSearch(q geom.Point, eps float64, m *metrics.Counters, 
 				candidates++
 				if q.DistSq(ix.pts[i]) <= epsSq {
 					dst = append(dst, i)
+					found++
 				}
 			}
 		}
 	}
 	m.AddNeighborSearches(1)
 	m.AddCandidatesExamined(candidates)
-	m.AddNeighborsFound(int64(len(dst)))
+	m.AddNeighborsFound(int64(found))
 	return dst, nil
 }
 
 // Run executes DBSCAN over the grid index (labels in the input point
-// order; there is no pre-sort). m may be nil. p.Eps must equal the build ε
-// or be smaller.
-func Run(ix *Index, p dbscan.Params, m *metrics.Counters) (*cluster.Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
+// order; there is no pre-sort). m may be nil. eps must not exceed the
+// cell side; minPts must be ≥ 1.
+func Run(ix *Index, eps float64, minPts int, m *metrics.Counters) (*cluster.Result, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("gridindex: eps must be > 0, got %g", eps)
 	}
-	if p.Eps > ix.eps {
-		return nil, fmt.Errorf("gridindex: run eps %g exceeds build eps %g", p.Eps, ix.eps)
+	if minPts < 1 {
+		return nil, fmt.Errorf("gridindex: minpts must be >= 1, got %d", minPts)
+	}
+	if eps > ix.side {
+		return nil, fmt.Errorf("gridindex: run eps %g exceeds cell side %g", eps, ix.side)
 	}
 	n := ix.Len()
 	res := cluster.NewResult(n)
@@ -152,11 +219,11 @@ func Run(ix *Index, p dbscan.Params, m *metrics.Counters) (*cluster.Result, erro
 		}
 		visited[i] = true
 		var err error
-		scratch, err = ix.NeighborSearch(ix.pts[i], p.Eps, m, scratch[:0])
+		scratch, err = ix.NeighborSearch(ix.pts[i], eps, m, scratch[:0])
 		if err != nil {
 			return nil, err
 		}
-		if len(scratch) < p.MinPts {
+		if len(scratch) < minPts {
 			res.Labels[i] = cluster.Noise
 			continue
 		}
@@ -166,11 +233,11 @@ func Run(ix *Index, p dbscan.Params, m *metrics.Counters) (*cluster.Result, erro
 		absorb(scratch, cid)
 		for qi := 0; qi < len(queue); qi++ {
 			j := queue[qi]
-			scratch, err = ix.NeighborSearch(ix.pts[j], p.Eps, m, scratch[:0])
+			scratch, err = ix.NeighborSearch(ix.pts[j], eps, m, scratch[:0])
 			if err != nil {
 				return nil, err
 			}
-			if len(scratch) >= p.MinPts {
+			if len(scratch) >= minPts {
 				absorb(scratch, cid)
 			}
 		}
@@ -199,4 +266,166 @@ func (ix *Index) Stats() Stats {
 		}
 	}
 	return s
+}
+
+// Flat is the frozen, production grid layout, the cell-grid analogue of
+// rtree.Flat. Freeze grid-sorts the coordinates into struct-of-arrays
+// slices and records one CSR offset per cell, so cell (r, c) owns the
+// half-open slot range [cellStart[r·cols+c], cellStart[r·cols+c+1]) and a
+// row of adjacent cells is ONE contiguous run — an ε-search issues a
+// single block-kernel call per scanned row. The ids slice maps each grid
+// slot back to the caller's index space. A Flat is immutable and safe for
+// concurrent searches; steady-state searches allocate nothing.
+type Flat struct {
+	side      float64
+	originX   float64
+	originY   float64
+	cols      int32
+	rows      int32
+	cellStart []int32 // len cols·rows+1, CSR offsets into xs/ys/ids
+	xs, ys    []float64
+	ids       []int32
+}
+
+// Freeze builds the flat grid over parallel coordinate slices with cells
+// of the given side (coarsened to respect MaxCells). The slices are
+// copied — the Flat does not alias caller memory. Non-finite coordinates
+// or > MaxInt32 points return ErrGridTooLarge.
+func Freeze(x, y []float64, side float64) (*Flat, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("gridindex: coordinate slices differ in length: %d vs %d", len(x), len(y))
+	}
+	if int64(len(x)) > math.MaxInt32 {
+		return nil, ErrGridTooLarge
+	}
+	if !(side > 0) || math.IsInf(side, 0) {
+		return nil, fmt.Errorf("gridindex: cell side must be positive and finite, got %g", side)
+	}
+	n := len(x)
+	if n == 0 {
+		return &Flat{side: side, cols: 0, rows: 0, cellStart: []int32{0}}, nil
+	}
+	b := geom.MBB{MinX: x[0], MinY: y[0], MaxX: x[0], MaxY: y[0]}
+	for i := 1; i < n; i++ {
+		b = b.ExtendPoint(geom.Point{X: x[i], Y: y[i]})
+	}
+	cols, rows, side, err := gridShape(b, side)
+	if err != nil {
+		return nil, err
+	}
+	f := &Flat{
+		side:    side,
+		originX: b.MinX,
+		originY: b.MinY,
+		cols:    int32(cols),
+		rows:    int32(rows),
+	}
+	cells := cols * rows
+	// Counting sort into CSR: count per cell, prefix-sum, scatter.
+	cellOf := make([]int32, n)
+	f.cellStart = make([]int32, cells+1)
+	for i := 0; i < n; i++ {
+		col := int((x[i] - f.originX) / side)
+		row := int((y[i] - f.originY) / side)
+		if col >= cols {
+			col = cols - 1
+		}
+		if row >= rows {
+			row = rows - 1
+		}
+		c := int32(row*cols + col)
+		cellOf[i] = c
+		f.cellStart[c+1]++
+	}
+	for c := 0; c < cells; c++ {
+		f.cellStart[c+1] += f.cellStart[c]
+	}
+	f.xs = make([]float64, n)
+	f.ys = make([]float64, n)
+	f.ids = make([]int32, n)
+	next := make([]int32, cells)
+	copy(next, f.cellStart[:cells])
+	for i := 0; i < n; i++ {
+		c := cellOf[i]
+		s := next[c]
+		next[c] = s + 1
+		f.xs[s] = x[i]
+		f.ys[s] = y[i]
+		f.ids[s] = int32(i)
+	}
+	return f, nil
+}
+
+// Len returns the number of indexed points.
+func (f *Flat) Len() int { return len(f.ids) }
+
+// Side returns the cell side; searches with eps ≤ Side scan the 3×3
+// block, larger eps widens the block accordingly.
+func (f *Flat) Side() float64 { return f.side }
+
+// Stats reports grid occupancy (shape shared with Index.Stats).
+func (f *Flat) Stats() Stats {
+	s := Stats{Cols: int(f.cols), Rows: int(f.rows), Cells: int(f.cols) * int(f.rows)}
+	for c := 0; c < s.Cells; c++ {
+		n := int(f.cellStart[c+1] - f.cellStart[c])
+		if n > 0 {
+			s.NonEmpty++
+		}
+		if n > s.MaxPerCell {
+			s.MaxPerCell = n
+		}
+	}
+	return s
+}
+
+// clampSpan clamps the float cell range [lo, hi] to [0, n); ok is false
+// when the range misses the grid entirely (including NaN coordinates).
+func clampSpan(lo, hi float64, n int32) (int32, int32, bool) {
+	if !(lo < float64(n)) || !(hi >= 0) { // also rejects NaN
+		return 0, 0, false
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > float64(n-1) {
+		hi = float64(n - 1)
+	}
+	return int32(lo), int32(hi), true
+}
+
+// EpsSearch appends the indices (in the caller's space) of all points
+// within eps of p to dst, returning the triple rtree.Flat.EpsSearch
+// returns: the grown slice, candidate points distance-checked, and cells
+// visited (the grid's "nodes"). The scanned block is 3×3 for eps ≤ Side
+// and widens to ⌈eps/Side⌉ cells per direction beyond that, so any eps is
+// answered exactly. Allocation-free once dst has warmed to its
+// high-water capacity.
+func (f *Flat) EpsSearch(p geom.Point, eps float64, dst []int32) (out []int32, candidates, nodesVisited int) {
+	if len(f.ids) == 0 || !(eps >= 0) {
+		return dst, 0, 0
+	}
+	reach := math.Ceil(eps / f.side)
+	fc := math.Floor((p.X - f.originX) / f.side)
+	fr := math.Floor((p.Y - f.originY) / f.side)
+	c0, c1, ok := clampSpan(fc-reach, fc+reach, f.cols)
+	if !ok {
+		return dst, 0, 0
+	}
+	r0, r1, ok := clampSpan(fr-reach, fr+reach, f.rows)
+	if !ok {
+		return dst, 0, 0
+	}
+	epsSq := eps * eps
+	xs, ys, ids, cellStart := f.xs, f.ys, f.ids, f.cellStart
+	for r := r0; r <= r1; r++ {
+		base := r * f.cols
+		start := cellStart[base+c0]
+		end := cellStart[base+c1+1]
+		candidates += int(end - start)
+		dst = kernel.FilterEpsIDs(dst,
+			xs[start:end:end], ys[start:end:end], ids[start:end:end],
+			p.X, p.Y, epsSq)
+	}
+	nodesVisited = int(r1-r0+1) * int(c1-c0+1)
+	return dst, candidates, nodesVisited
 }

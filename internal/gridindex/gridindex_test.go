@@ -1,12 +1,14 @@
-package gridindex
+package gridindex_test
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
 	"vdbscan/internal/cluster"
 	"vdbscan/internal/dbscan"
 	"vdbscan/internal/geom"
+	"vdbscan/internal/gridindex"
 	"vdbscan/internal/metrics"
 )
 
@@ -28,11 +30,20 @@ func blobs(k, m, noise int, extent, sigma float64, seed int64) []geom.Point {
 	return pts
 }
 
+func coords(pts []geom.Point) (xs, ys []float64) {
+	xs = make([]float64, len(pts))
+	ys = make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i], ys[i] = p.X, p.Y
+	}
+	return xs, ys
+}
+
 func TestBuildValidation(t *testing.T) {
-	if _, err := Build(nil, 0); err == nil {
+	if _, err := gridindex.Build(nil, 0); err == nil {
 		t.Error("eps=0 accepted")
 	}
-	ix, err := Build(nil, 1)
+	ix, err := gridindex.Build(nil, 1)
 	if err != nil || ix.Len() != 0 {
 		t.Fatalf("empty build: %v %v", ix, err)
 	}
@@ -42,10 +53,46 @@ func TestBuildValidation(t *testing.T) {
 	}
 }
 
+func TestBuildCapsCellCount(t *testing.T) {
+	// Tiny ε over a wide extent: the uncapped build would want ~10¹⁸
+	// cells. The capped build must coarsen the side instead and still
+	// answer searches exactly.
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 0.5, Y: 0.25}, {X: 1e6, Y: 1e6}, {X: 1e6 + 0.3, Y: 1e6}}
+	const eps = 1e-3
+	ix, err := gridindex.Build(pts, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := ix.Stats(); s.Cells > gridindex.MaxCells {
+		t.Fatalf("cells = %d exceeds cap %d", s.Cells, gridindex.MaxCells)
+	}
+	if ix.Side() < eps {
+		t.Fatalf("side %g shrank below requested eps %g", ix.Side(), eps)
+	}
+	got, err := ix.NeighborSearch(geom.Point{X: 0, Y: 0}, eps, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("capped-grid search = %v, want [0]", got)
+	}
+}
+
+func TestBuildRejectsNonFinite(t *testing.T) {
+	for _, bad := range [][]geom.Point{
+		{{X: math.NaN(), Y: 0}, {X: 1, Y: 1}},
+		{{X: math.Inf(1), Y: 0}, {X: -1e308, Y: 1}},
+	} {
+		if _, err := gridindex.Build(bad, 1); err == nil {
+			t.Errorf("non-finite points accepted: %v", bad)
+		}
+	}
+}
+
 func TestNeighborSearchMatchesLinear(t *testing.T) {
 	pts := blobs(3, 300, 100, 30, 0.8, 1)
 	const eps = 1.2
-	ix, err := Build(pts, eps)
+	ix, err := gridindex.Build(pts, eps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,20 +123,20 @@ func TestNeighborSearchMatchesLinear(t *testing.T) {
 }
 
 func TestNeighborSearchRejectsLargerEps(t *testing.T) {
-	ix, _ := Build([]geom.Point{{X: 0, Y: 0}}, 1)
+	ix, _ := gridindex.Build([]geom.Point{{X: 0, Y: 0}}, 1)
 	if _, err := ix.NeighborSearch(geom.Point{X: 0, Y: 0}, 2, nil, nil); err == nil {
-		t.Error("eps > build eps accepted")
+		t.Error("eps > cell side accepted")
 	}
 }
 
 func TestRunMatchesRTreeDBSCAN(t *testing.T) {
 	pts := blobs(4, 200, 150, 30, 0.7, 3)
 	p := dbscan.Params{Eps: 0.9, MinPts: 4}
-	gix, err := Build(pts, p.Eps)
+	gix, err := gridindex.Build(pts, p.Eps)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Run(gix, p, nil)
+	got, err := gridindex.Run(gix, p.Eps, p.MinPts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,20 +158,23 @@ func TestRunMatchesRTreeDBSCAN(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	ix, _ := Build(blobs(1, 50, 0, 10, 0.5, 4), 1)
-	if _, err := Run(ix, dbscan.Params{Eps: 0, MinPts: 3}, nil); err == nil {
-		t.Error("bad params accepted")
+	ix, _ := gridindex.Build(blobs(1, 50, 0, 10, 0.5, 4), 1)
+	if _, err := gridindex.Run(ix, 0, 3, nil); err == nil {
+		t.Error("eps=0 accepted")
 	}
-	if _, err := Run(ix, dbscan.Params{Eps: 2, MinPts: 3}, nil); err == nil {
-		t.Error("eps > build eps accepted")
+	if _, err := gridindex.Run(ix, 1, 0, nil); err == nil {
+		t.Error("minpts=0 accepted")
+	}
+	if _, err := gridindex.Run(ix, 2, 3, nil); err == nil {
+		t.Error("eps > cell side accepted")
 	}
 }
 
 func TestMetricsAndStats(t *testing.T) {
 	pts := blobs(2, 200, 50, 20, 0.5, 5)
-	ix, _ := Build(pts, 1)
+	ix, _ := gridindex.Build(pts, 1)
 	var m metrics.Counters
-	if _, err := Run(ix, dbscan.Params{Eps: 1, MinPts: 4}, &m); err != nil {
+	if _, err := gridindex.Run(ix, 1, 4, &m); err != nil {
 		t.Fatal(err)
 	}
 	s := m.Snapshot()
@@ -144,8 +194,8 @@ func TestMetricsAndStats(t *testing.T) {
 }
 
 func TestSinglePointAndDuplicates(t *testing.T) {
-	ix, _ := Build([]geom.Point{{X: 5, Y: 5}}, 1)
-	res, err := Run(ix, dbscan.Params{Eps: 1, MinPts: 1}, nil)
+	ix, _ := gridindex.Build([]geom.Point{{X: 5, Y: 5}}, 1)
+	res, err := gridindex.Run(ix, 1, 1, nil)
 	if err != nil || res.NumClusters != 1 {
 		t.Fatalf("single: %v %v", res, err)
 	}
@@ -153,9 +203,219 @@ func TestSinglePointAndDuplicates(t *testing.T) {
 	for i := range dup {
 		dup[i] = geom.Point{X: 2, Y: 2}
 	}
-	ix, _ = Build(dup, 0.5)
-	res, _ = Run(ix, dbscan.Params{Eps: 0.5, MinPts: 4}, nil)
+	ix, _ = gridindex.Build(dup, 0.5)
+	res, _ = gridindex.Run(ix, 0.5, 4, nil)
 	if res.NumClusters != 1 || res.NumClustered() != 30 {
 		t.Fatalf("duplicates: %v", res)
 	}
+}
+
+// --- Flat (production CSR layout) ---
+
+func TestFreezeValidation(t *testing.T) {
+	if _, err := gridindex.Freeze([]float64{1}, nil, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := gridindex.Freeze(nil, nil, 0); err == nil {
+		t.Error("side=0 accepted")
+	}
+	if _, err := gridindex.Freeze([]float64{math.NaN()}, []float64{0}, 1); err == nil {
+		t.Error("NaN coordinate accepted")
+	}
+	f, err := gridindex.Freeze(nil, nil, 1)
+	if err != nil || f.Len() != 0 {
+		t.Fatalf("empty freeze: %v %v", f, err)
+	}
+	out, c, n := f.EpsSearch(geom.Point{X: 0, Y: 0}, 1, nil)
+	if len(out) != 0 || c != 0 || n != 0 {
+		t.Errorf("empty search: %v %d %d", out, c, n)
+	}
+}
+
+func TestFlatEpsSearchMatchesLinear(t *testing.T) {
+	pts := blobs(3, 400, 200, 40, 0.9, 11)
+	xs, ys := coords(pts)
+	const side = 1.5
+	f, err := gridindex.Freeze(xs, ys, side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := rand.New(rand.NewSource(12))
+	var dst []int32
+	seen := make(map[int32]bool)
+	for trial := 0; trial < 200; trial++ {
+		q := geom.Point{X: rnd.Float64()*50 - 5, Y: rnd.Float64()*50 - 5}
+		// Sweep eps through the 3×3 regime and beyond the side (widened
+		// block), including eps = side exactly.
+		eps := side * (0.2 + 2.3*rnd.Float64())
+		if trial%10 == 0 {
+			eps = side
+		}
+		dst, _, _ = f.EpsSearch(q, eps, dst[:0])
+		for k := range seen {
+			delete(seen, k)
+		}
+		for _, i := range dst {
+			if seen[i] {
+				t.Fatalf("duplicate index %d in result", i)
+			}
+			seen[i] = true
+		}
+		want := 0
+		for _, p := range pts {
+			if q.DistSq(p) <= eps*eps {
+				want++
+			}
+		}
+		if len(dst) != want {
+			t.Fatalf("trial %d: EpsSearch(%v, %g) = %d hits, want %d", trial, q, eps, len(dst), want)
+		}
+		for _, i := range dst {
+			if q.DistSq(pts[i]) > eps*eps {
+				t.Fatalf("trial %d: index %d outside eps", trial, i)
+			}
+		}
+	}
+}
+
+func TestFlatMatchesPointerGrid(t *testing.T) {
+	pts := blobs(2, 500, 100, 25, 0.6, 21)
+	xs, ys := coords(pts)
+	const eps = 1.1
+	f, err := gridindex.Freeze(xs, ys, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := gridindex.Build(pts, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fDst, pDst []int32
+	for i, q := range pts {
+		fDst, _, _ = f.EpsSearch(q, eps, fDst[:0])
+		var perr error
+		pDst, perr = ix.NeighborSearch(q, eps, nil, pDst[:0])
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		if len(fDst) != len(pDst) {
+			t.Fatalf("query %d: flat %d hits vs pointer %d", i, len(fDst), len(pDst))
+		}
+	}
+}
+
+func TestFreezeCapsCellCount(t *testing.T) {
+	xs := []float64{0, 0.5, 1e7}
+	ys := []float64{0, 0.25, 1e7}
+	f, err := gridindex.Freeze(xs, ys, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := f.Stats(); s.Cells > gridindex.MaxCells {
+		t.Fatalf("cells = %d exceeds cap %d", s.Cells, gridindex.MaxCells)
+	}
+	out, _, _ := f.EpsSearch(geom.Point{X: 0, Y: 0}, 1e-4, nil)
+	if len(out) != 1 || out[0] != 0 {
+		t.Fatalf("capped search = %v, want [0]", out)
+	}
+}
+
+// TestFlatEpsSearchZeroAlloc mirrors rtree's TestEpsSearchZeroAlloc: once
+// the destination buffer has warmed, grid searches never touch the heap.
+func TestFlatEpsSearchZeroAlloc(t *testing.T) {
+	pts := blobs(3, 500, 100, 30, 0.8, 31)
+	xs, ys := coords(pts)
+	f, err := gridindex.Freeze(xs, ys, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int32, 0, len(pts))
+	queries := pts[:64]
+	allocs := testing.AllocsPerRun(50, func() {
+		for _, q := range queries {
+			dst, _, _ = f.EpsSearch(q, 1.0, dst[:0])
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EpsSearch allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// FuzzGridSearch mirrors rtree's FuzzSearch: random point sets and
+// queries, grid Flat checked against the linear oracle and the pointer
+// grid against both.
+func FuzzGridSearch(f *testing.F) {
+	f.Add(int64(1), uint8(50), 1.0, 0.5, 0.5)
+	f.Add(int64(7), uint8(200), 0.3, 10.0, -3.0)
+	f.Add(int64(42), uint8(13), 2.5, 0.0, 0.0)
+	f.Fuzz(func(t *testing.T, seed int64, n uint8, eps, qx, qy float64) {
+		if !(eps > 0) || eps > 1e6 || math.Abs(qx) > 1e6 || math.Abs(qy) > 1e6 {
+			t.Skip()
+		}
+		rnd := rand.New(rand.NewSource(seed))
+		pts := make([]geom.Point, int(n))
+		for i := range pts {
+			pts[i] = geom.Point{X: rnd.Float64()*20 - 10, Y: rnd.Float64()*20 - 10}
+		}
+		xs, ys := coords(pts)
+		// Freeze with a side smaller than eps half the time to exercise
+		// the widened block.
+		side := eps
+		if seed%2 == 0 {
+			side = eps/3 + 1e-9
+		}
+		fg, err := gridindex.Freeze(xs, ys, side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := geom.Point{X: qx, Y: qy}
+		got, _, _ := fg.EpsSearch(q, eps, nil)
+		want := 0
+		for _, p := range pts {
+			if q.DistSq(p) <= eps*eps {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("flat grid: %d hits, oracle %d (n=%d eps=%g side=%g)", len(got), want, n, eps, side)
+		}
+		for _, i := range got {
+			if q.DistSq(pts[i]) > eps*eps {
+				t.Fatalf("index %d outside eps", i)
+			}
+		}
+	})
+}
+
+// BenchmarkGridEpsSearch measures the CSR grid search against the
+// pointer-chasing bucket grid on a TEC-like clustered workload.
+func BenchmarkGridEpsSearch(b *testing.B) {
+	pts := blobs(20, 5000, 10000, 300, 2.0, 99)
+	xs, ys := coords(pts)
+	const eps = 4.0
+	f, err := gridindex.Freeze(xs, ys, eps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := gridindex.Build(pts, eps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := pts[:1024]
+	b.Run("flat", func(b *testing.B) {
+		dst := make([]int32, 0, len(pts))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			dst, _, _ = f.EpsSearch(q, eps, dst[:0])
+		}
+	})
+	b.Run("pointer", func(b *testing.B) {
+		dst := make([]int32, 0, len(pts))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			dst, _ = ix.NeighborSearch(q, eps, nil, dst[:0])
+		}
+	})
 }

@@ -1,0 +1,47 @@
+package kernel
+
+// The SSE2 kernels consume an even number of candidates; the odd tail is
+// filtered here so the asm never needs a scalar epilogue.
+
+//go:noescape
+func filterEpsSSE2(buf *int32, w int, xs *float64, ys *float64, n int, base int32, px float64, py float64, epsSq float64) int
+
+//go:noescape
+func filterEpsIDsSSE2(buf *int32, w int, xs *float64, ys *float64, n int, ids *int32, px float64, py float64, epsSq float64) int
+
+// filterEps appends passing indices of the run into buf starting at w and
+// returns the advanced cursor. buf must have room for len(xs) more
+// entries past w (FilterEps reserves it).
+func filterEps(buf []int32, w int, xs, ys []float64, base int32, px, py, epsSq float64) int {
+	n := len(xs)
+	if even := n &^ 1; even > 0 {
+		w = filterEpsSSE2(&buf[0], w, &xs[0], &ys[0], even, base, px, py, epsSq)
+	}
+	if n&1 == 1 {
+		i := n - 1
+		dx := px - xs[i]
+		dy := py - ys[i]
+		buf[w] = base + int32(i)
+		if dx*dx+dy*dy <= epsSq {
+			w++
+		}
+	}
+	return w
+}
+
+func filterEpsIDs(buf []int32, w int, xs, ys []float64, ids []int32, px, py, epsSq float64) int {
+	n := len(xs)
+	if even := n &^ 1; even > 0 {
+		w = filterEpsIDsSSE2(&buf[0], w, &xs[0], &ys[0], even, &ids[0], px, py, epsSq)
+	}
+	if n&1 == 1 {
+		i := n - 1
+		dx := px - xs[i]
+		dy := py - ys[i]
+		buf[w] = ids[i]
+		if dx*dx+dy*dy <= epsSq {
+			w++
+		}
+	}
+	return w
+}

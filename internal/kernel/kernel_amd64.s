@@ -1,0 +1,106 @@
+// SSE2 ε-filter kernels. SSE2 is architecturally guaranteed on amd64, so
+// these need no feature detection. All arithmetic (SUBPD/MULPD/ADDPD) is
+// the same IEEE-754 double operation the scalar Go path performs, and
+// CMPPD with predicate 2 (LE) matches `<=` exactly — NaN compares false —
+// so results are bit-identical to the fallback.
+//
+// Compaction is branch-free: each lane's index is stored unconditionally
+// at the write cursor and the cursor advances by the lane's mask bit, so
+// pass/fail patterns never touch the branch predictor.
+
+#include "textflag.h"
+
+// func filterEpsSSE2(buf *int32, w int, xs *float64, ys *float64, n int, base int32, px float64, py float64, epsSq float64) int
+// Processes candidates [0, n) — n must be even — appending base+i for
+// every passing i at buf[w...], returning the advanced cursor.
+TEXT ·filterEpsSSE2(SB), NOSPLIT, $0-80
+	MOVQ buf+0(FP), DI
+	MOVQ w+8(FP), AX
+	MOVQ xs+16(FP), SI
+	MOVQ ys+24(FP), DX
+	MOVQ n+32(FP), CX
+	MOVL base+40(FP), R8
+	MOVSD px+48(FP), X4
+	MOVSD py+56(FP), X5
+	MOVSD epsSq+64(FP), X6
+	UNPCKLPD X4, X4
+	UNPCKLPD X5, X5
+	UNPCKLPD X6, X6
+	XORQ R9, R9
+
+loop:
+	CMPQ R9, CX
+	JGE  done
+	MOVUPD (SI)(R9*8), X2
+	MOVUPD (DX)(R9*8), X3
+	MOVAPD X4, X0
+	SUBPD  X2, X0
+	MULPD  X0, X0
+	MOVAPD X5, X1
+	SUBPD  X3, X1
+	MULPD  X1, X1
+	ADDPD  X1, X0
+	CMPPD  X6, X0, $2
+	MOVMSKPD X0, R10
+	LEAQ (R8)(R9*1), R11
+	MOVL R11, (DI)(AX*4)
+	MOVQ R10, R12
+	ANDQ $1, R12
+	ADDQ R12, AX
+	INCQ R11
+	MOVL R11, (DI)(AX*4)
+	SHRQ $1, R10
+	ADDQ R10, AX
+	ADDQ $2, R9
+	JMP  loop
+
+done:
+	MOVQ AX, ret+72(FP)
+	RET
+
+// func filterEpsIDsSSE2(buf *int32, w int, xs *float64, ys *float64, n int, ids *int32, px float64, py float64, epsSq float64) int
+// As filterEpsSSE2 but emitting ids[i] instead of base+i.
+TEXT ·filterEpsIDsSSE2(SB), NOSPLIT, $0-80
+	MOVQ buf+0(FP), DI
+	MOVQ w+8(FP), AX
+	MOVQ xs+16(FP), SI
+	MOVQ ys+24(FP), DX
+	MOVQ n+32(FP), CX
+	MOVQ ids+40(FP), R8
+	MOVSD px+48(FP), X4
+	MOVSD py+56(FP), X5
+	MOVSD epsSq+64(FP), X6
+	UNPCKLPD X4, X4
+	UNPCKLPD X5, X5
+	UNPCKLPD X6, X6
+	XORQ R9, R9
+
+idloop:
+	CMPQ R9, CX
+	JGE  iddone
+	MOVUPD (SI)(R9*8), X2
+	MOVUPD (DX)(R9*8), X3
+	MOVAPD X4, X0
+	SUBPD  X2, X0
+	MULPD  X0, X0
+	MOVAPD X5, X1
+	SUBPD  X3, X1
+	MULPD  X1, X1
+	ADDPD  X1, X0
+	CMPPD  X6, X0, $2
+	MOVMSKPD X0, R10
+	MOVL (R8)(R9*4), R11
+	MOVL R11, (DI)(AX*4)
+	MOVQ R10, R12
+	ANDQ $1, R12
+	ADDQ R12, AX
+	MOVL 4(R8)(R9*4), R11
+	MOVL R11, (DI)(AX*4)
+	SHRQ $1, R10
+	ADDQ R10, AX
+	ADDQ $2, R9
+	JMP  idloop
+
+iddone:
+	MOVQ AX, ret+72(FP)
+	RET

@@ -1,0 +1,32 @@
+//go:build !amd64
+
+package kernel
+
+// Portable fallbacks: single-pass scalar loops with the same
+// unconditional-store/guarded-increment compaction as the SSE2 kernels,
+// which gc lowers to a conditional move rather than a data-dependent
+// branch.
+
+func filterEps(buf []int32, w int, xs, ys []float64, base int32, px, py, epsSq float64) int {
+	for i := 0; i < len(xs); i++ {
+		dx := px - xs[i]
+		dy := py - ys[i]
+		buf[w] = base + int32(i)
+		if dx*dx+dy*dy <= epsSq {
+			w++
+		}
+	}
+	return w
+}
+
+func filterEpsIDs(buf []int32, w int, xs, ys []float64, ids []int32, px, py, epsSq float64) int {
+	for i := 0; i < len(xs); i++ {
+		dx := px - xs[i]
+		dy := py - ys[i]
+		buf[w] = ids[i]
+		if dx*dx+dy*dy <= epsSq {
+			w++
+		}
+	}
+	return w
+}

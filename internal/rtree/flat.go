@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"vdbscan/internal/geom"
+	"vdbscan/internal/kernel"
 )
 
 // flatLocalStack is the traversal stack capacity that searches keep in a
@@ -414,13 +415,9 @@ func (f *Flat) epsSearch(stack []int32, p geom.Point, eps float64, dst []int32) 
 					entMinY[e] <= maxY && minY <= entMaxY[e] {
 					start, end := int(entRef[e]), int(entRef[e]+entCnt[e])
 					candidates += end - start
-					for i := start; i < end; i++ {
-						dx := px - ptX[i]
-						dy := py - ptY[i]
-						if dx*dx+dy*dy <= epsSq {
-							dst = append(dst, int32(i))
-						}
-					}
+					dst = kernel.FilterEps(dst,
+						ptX[start:end:end], ptY[start:end:end],
+						int32(start), px, py, epsSq)
 				}
 			}
 			continue

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vdbscan/internal/geom"
+	"vdbscan/internal/kernel"
 )
 
 // Overlay is a small delta of mutations staged on top of a frozen Flat
@@ -131,7 +132,21 @@ func EpsSearchOverlay(f *Flat, pts []geom.Point, p geom.Point, eps float64, dst 
 	dst, candidates, nodesVisited = f.EpsSearch(p, eps, dst)
 	dst = filterDeleted(dst, base, ovs)
 	epsSq := eps * eps
+	anyDeletes := false
 	for _, ov := range ovs {
+		if ov.numDeleted > 0 {
+			anyDeletes = true
+			break
+		}
+	}
+	for _, ov := range ovs {
+		if !anyDeletes {
+			// Insert-only stream (the common epoch shape): the whole added
+			// buffer goes through the block kernel in one shot.
+			candidates += len(ov.added)
+			dst = kernel.FilterEpsPoints(dst, pts, ov.added, p.X, p.Y, epsSq)
+			continue
+		}
 		for _, idx := range ov.added {
 			if overlaysDelete(ovs, idx) {
 				continue

@@ -337,6 +337,18 @@ func ExecuteContext(ctx context.Context, ix *dbscan.Index, vs []variant.Variant,
 	if err := variant.Validate(vs); err != nil {
 		return nil, err
 	}
+	// Grid-kind indexes get one cell-grid build sized for the whole
+	// variant set's max ε, so every variant (and every reuse expansion)
+	// shares it — the grid analogue of the shared R-tree pair.
+	maxEps := 0.0
+	for _, v := range vs {
+		if v.Params.Eps > maxEps {
+			maxEps = v.Params.Eps
+		}
+	}
+	if err := ix.EnsureGrid(maxEps); err != nil {
+		return nil, err
+	}
 	threads := opt.Threads
 	if threads <= 0 {
 		threads = 1

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"vdbscan"
+	"vdbscan/internal/cliutil"
 	"vdbscan/internal/dataio"
 )
 
@@ -20,6 +21,7 @@ type datasetDoc struct {
 	Points     int    `json:"points"`  // covered by the installed index
 	Staged     int    `json:"staged"`  // appended, awaiting re-freeze
 	Version    int    `json:"version"` // index install version
+	Index      string `json:"index"`   // eps-search substrate: rtree or grid
 	Refreezing bool   `json:"refreezing"`
 	Created    string `json:"created"`
 }
@@ -99,6 +101,7 @@ func (s *Server) datasetDoc(d *dataset) datasetDoc {
 		Points:     len(d.points),
 		Staged:     len(d.staged),
 		Version:    d.version,
+		Index:      d.kind.String(),
 		Refreezing: d.refreezing,
 		Created:    stamp(d.created),
 	}
@@ -178,7 +181,15 @@ func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	d, err := s.registry.create(name, points, leafR)
+	kind := s.cfg.IndexKind
+	if v := r.URL.Query().Get("index"); v != "" {
+		kind, err = cliutil.ParseIndexKind(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad index parameter %q (want rtree or grid)", v)
+			return
+		}
+	}
+	d, err := s.registry.create(name, points, leafR, kind)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return

@@ -18,7 +18,8 @@ type dataset struct {
 	id      string
 	name    string
 	created time.Time
-	r       int // ε-search leaf occupancy used at (re)freeze
+	r       int               // ε-search leaf occupancy used at (re)freeze
+	kind    vdbscan.IndexKind // ε-search substrate used at (re)freeze
 
 	mu         sync.Mutex
 	points     []vdbscan.Point // points covered by the installed index
@@ -51,8 +52,10 @@ func newRegistry(cfg Config) *registry {
 }
 
 // create indexes points and registers the dataset. r == 0 falls back to
-// Config.IndexR, then to the library default.
-func (g *registry) create(name string, points []vdbscan.Point, r int) (*dataset, error) {
+// Config.IndexR, then to the library default; kind follows the same
+// per-upload-over-Config precedence (the zero kind is the R-tree, which is
+// also the library default, so Config.IndexKind alone decides).
+func (g *registry) create(name string, points []vdbscan.Point, r int, kind vdbscan.IndexKind) (*dataset, error) {
 	if len(points) == 0 {
 		return nil, fmt.Errorf("dataset has no points")
 	}
@@ -63,11 +66,15 @@ func (g *registry) create(name string, points []vdbscan.Point, r int) (*dataset,
 	if r > 0 {
 		opts = append(opts, vdbscan.WithR(r))
 	}
+	if kind != vdbscan.IndexRTree {
+		opts = append(opts, vdbscan.WithIndexKind(kind))
+	}
 	d := &dataset{
 		id:      fmt.Sprintf("d%d", g.seq.Add(1)),
 		name:    name,
 		created: time.Now(),
 		r:       r,
+		kind:    kind,
 		points:  points,
 		index:   vdbscan.NewIndex(points, opts...),
 		version: 1,
@@ -153,6 +160,9 @@ func (g *registry) refreeze(d *dataset, ctrs *counters) {
 	var opts []vdbscan.IndexOption
 	if d.r > 0 {
 		opts = append(opts, vdbscan.WithR(d.r))
+	}
+	if d.kind != vdbscan.IndexRTree {
+		opts = append(opts, vdbscan.WithIndexKind(d.kind))
 	}
 	idx := vdbscan.NewIndex(combined, opts...) // the expensive part, off-lock
 

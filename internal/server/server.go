@@ -81,6 +81,10 @@ type Config struct {
 	// datasets (0 keeps the library default; a per-upload ?r= query
 	// parameter overrides both).
 	IndexR int
+	// IndexKind selects the ε-search substrate for uploaded datasets
+	// (zero = the packed R-tree pair; a per-upload ?index= query
+	// parameter overrides it).
+	IndexKind vdbscan.IndexKind
 }
 
 func (c Config) withDefaults() Config {

@@ -267,6 +267,43 @@ func TestDatasetValidation(t *testing.T) {
 	c.submitJob("d1", `{"variants":[{"eps":2,"minpts":4}]}`, http.StatusNotFound)
 }
 
+// TestUploadIndexKind covers the ?index= upload parameter: the dataset doc
+// reports its substrate, bad values 400, and the same job produces the same
+// clustering (labels byte-for-byte) on either kind.
+func TestUploadIndexKind(t *testing.T) {
+	_, c := newTestServer(t, Config{Threads: 1})
+	csv := pointsCSV(t, testPoints(t, 1500))
+
+	code, _, body := c.do("POST", "/v1/datasets?index=kdtree", csv)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad index kind = %d: %s", code, body)
+	}
+
+	rt := c.doJSON("POST", "/v1/datasets?name=rt", csv, http.StatusCreated)
+	gr := c.doJSON("POST", "/v1/datasets?name=gr&index=grid", csv, http.StatusCreated)
+	if rt["index"] != "rtree" || gr["index"] != "grid" {
+		t.Fatalf("dataset docs report index %v / %v, want rtree / grid", rt["index"], gr["index"])
+	}
+
+	const job = `{"variants":[{"eps":2,"minpts":8},{"eps":3,"minpts":4}]}`
+	labels := map[string][]byte{}
+	for _, d := range []map[string]any{rt, gr} {
+		sub := c.submitJob(d["id"].(string), job, http.StatusAccepted)
+		done := c.waitDone(sub["id"].(string))
+		if done["state"] != stateDone {
+			t.Fatalf("job on %v finished %v (%v)", d["index"], done["state"], done["error"])
+		}
+		code, _, out := c.do("GET", "/v1/jobs/"+sub["id"].(string)+"/labels?variant=0", nil)
+		if code != http.StatusOK {
+			t.Fatalf("labels on %v = %d: %s", d["index"], code, out)
+		}
+		labels[d["index"].(string)] = out
+	}
+	if !bytes.Equal(labels["rtree"], labels["grid"]) {
+		t.Error("grid-backed dataset produced different labels than the R-tree one")
+	}
+}
+
 // TestBackpressure429 pins the bounded-queue contract: the QueueDepth+1-th
 // submission is rejected with 429 and a Retry-After hint, and canceling a
 // queued job frees its slot.

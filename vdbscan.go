@@ -221,6 +221,7 @@ type config struct {
 	minSeedSize  int
 	disableReuse bool
 	noFlat       bool
+	kind         IndexKind
 	refreezeN    int
 	work         *Work
 	tracer       *Tracer
@@ -260,6 +261,33 @@ func WithBinWidth(w float64) IndexOption { return indexOpt(func(c *config) { c.b
 // the pointer-based trees directly (the pre-freeze layout, mainly useful
 // for layout ablations).
 func WithFlatIndex(on bool) IndexOption { return indexOpt(func(c *config) { c.noFlat = !on }) }
+
+// IndexKind selects the ε-search substrate; see WithIndexKind.
+type IndexKind = dbscan.IndexKind
+
+// Index kinds accepted by WithIndexKind.
+const (
+	// IndexRTree is the paper's packed R-tree pair (the default): one
+	// shared tree serves every variant's ε-searches, a second serves the
+	// cluster-MBB sweeps that reuse depends on.
+	IndexRTree = dbscan.IndexRTree
+	// IndexGrid serves ε-searches from a flat uniform cell grid instead:
+	// coordinates are grid-sorted into contiguous runs with one CSR
+	// offset per cell, and a search scans the 3×3 cell block around the
+	// query through the block distance kernel. The grid's cell side is
+	// sized for the variant set's largest ε on first use, so — like the
+	// R-tree — one build serves every variant; it wins when the data has
+	// bounded density skew (uniform-ish cell occupancy) and loses ground
+	// to the R-tree under heavy skew or very wide ε spreads. Cluster-MBB
+	// sweeps and streaming-insert fallbacks still use the R-trees, so
+	// reuse, intra-variant parallelism, and appends work unchanged.
+	IndexGrid = dbscan.IndexGrid
+)
+
+// WithIndexKind selects the ε-search index structure (default
+// IndexRTree). Clustering output is byte-identical across kinds — only
+// the search substrate, and therefore the performance envelope, changes.
+func WithIndexKind(k IndexKind) IndexOption { return indexOpt(func(c *config) { c.kind = k }) }
 
 // WithThreads sets the number of worker goroutines T executing variants
 // concurrently (default 1). Above 1 it also enables two-level scheduling in
@@ -353,7 +381,7 @@ func NewIndex(points []Point, opts ...IndexOption) *Index {
 	c := buildConfig(opts)
 	cp := append([]Point(nil), points...)
 	return &Index{
-		ix:  dbscan.BuildIndex(cp, dbscan.IndexOptions{R: c.r, BinWidth: c.binWidth, NoFlat: c.noFlat}),
+		ix:  dbscan.BuildIndex(cp, dbscan.IndexOptions{R: c.r, BinWidth: c.binWidth, NoFlat: c.noFlat, Kind: c.kind}),
 		pts: cp,
 	}
 }
