@@ -9,6 +9,7 @@
 package vdbscan
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -751,6 +752,37 @@ func BenchmarkRunParallel(b *testing.B) {
 			}
 			reportWork(b, m.Snapshot(), b.N)
 		})
+	}
+}
+
+// BenchmarkRunTiled sweeps tile-level parallelism on the 100k fixture
+// rebuilt grid-kind: the tiled runner (variant → tile → chunk) at 2×2,
+// 4×4, and 8×8 tiles against the untiled chunked runner (tiles=1), both
+// over the same frozen grid. Labels are byte-identical at every point of
+// the sweep; only the work partitioning differs.
+func BenchmarkRunTiled(b *testing.B) {
+	bigFixture(b)
+	gix := dbscan.BuildIndex(fixBigIx.Pts, dbscan.IndexOptions{R: 70, Kind: dbscan.IndexGrid})
+	p := dbscan.Params{Eps: 1, MinPts: 4}
+	if err := gix.EnsureGrid(p.Eps); err != nil {
+		b.Fatal(err)
+	}
+	for _, tiles := range []int{1, 4, 16, 64} {
+		for _, w := range []int{4, 8} {
+			b.Run(fmt.Sprintf("tiles%d/workers%d", tiles, w), func(b *testing.B) {
+				var m metrics.Counters
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_, err := dbscan.RunParallelOpts(context.Background(), gix, p, dbscan.ParallelOptions{
+						Workers: w, Tiles: tiles,
+					}, &m)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				reportWork(b, m.Snapshot(), b.N)
+			})
+		}
 	}
 }
 

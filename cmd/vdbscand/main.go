@@ -59,6 +59,7 @@ type envDefaults struct {
 	queue        int
 	runners      int
 	refreeze     int
+	tiles        int
 	r            int
 	index        string
 	batchWindow  time.Duration
@@ -79,6 +80,9 @@ func loadEnv() (envDefaults, error) {
 		return d, err
 	}
 	if d.refreeze, err = cliutil.EnvIntOr("VDBSCAND_REFREEZE_POINTS", server.DefaultRefreezePoints); err != nil {
+		return d, err
+	}
+	if d.tiles, err = cliutil.EnvIntOr("VDBSCAND_TILES", 0); err != nil {
 		return d, err
 	}
 	if d.r, err = cliutil.EnvIntOr("VDBSCAND_R", 0); err != nil {
@@ -107,6 +111,8 @@ func run() error {
 	queue := flag.Int("queue", env.queue, "max queued jobs before 429 backpressure")
 	runners := flag.Int("runners", env.runners, "concurrent batch runs")
 	refreeze := flag.Int("refreeze", env.refreeze, "staged points that trigger a dataset re-freeze")
+	tiles := flag.Int("tiles", env.tiles,
+		"tile-level parallelism per run on grid indexes (0 = auto, 1 = untiled; per-job tiles overrides)")
 	leafR := flag.Int("r", env.r, "eps-search tree leaf occupancy for uploads (0 = library default)")
 	indexKind := flag.String("index", env.index, "eps-search index structure for uploads: rtree or grid")
 	batchWindow := flag.Duration("batch-window", env.batchWindow,
@@ -127,6 +133,7 @@ func run() error {
 		Runners:        *runners,
 		RefreezePoints: *refreeze,
 		IndexR:         *leafR,
+		Tiles:          *tiles,
 		IndexKind:      kindVal,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

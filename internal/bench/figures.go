@@ -317,6 +317,8 @@ func (s *Suite) Run(id string) error {
 		return s.Fig9()
 	case "indexkinds":
 		return s.IndexKinds()
+	case "tiles":
+		return s.Tiles()
 	case "ablations":
 		return s.Ablations()
 	case "trace":
@@ -330,7 +332,7 @@ func (s *Suite) Run(id string) error {
 // Experiments lists the valid experiment IDs in paper order.
 var Experiments = []string{
 	"fig1", "table1", "table2", "fig4", "table3", "fig5", "fig6", "fig7",
-	"table4", "fig8", "fig9", "indexkinds", "ablations", "trace",
+	"table4", "fig8", "fig9", "indexkinds", "tiles", "ablations", "trace",
 }
 
 // Fig1 regenerates Figure 1's content as text: the thresholded TEC map of

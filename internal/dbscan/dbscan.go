@@ -28,6 +28,7 @@ import (
 	"vdbscan/internal/kernel"
 	"vdbscan/internal/metrics"
 	"vdbscan/internal/rtree"
+	"vdbscan/internal/tiling"
 )
 
 // IndexKind selects the ε-search substrate an Index routes through.
@@ -109,6 +110,14 @@ type Index struct {
 	// unsupported, so the prefix stays exact).
 	grid   atomic.Pointer[gridindex.Flat]
 	gridMu sync.Mutex // serializes EnsureGrid builds
+
+	// tiles caches the tile partition for the tiled parallel runner. It
+	// is keyed by (grid snapshot pointer, tile target), so an EnsureGrid
+	// re-side or re-freeze — which installs a fresh *gridindex.Flat —
+	// invalidates it automatically: stale tile boundaries can never
+	// outlive the grid they were cut from.
+	tiles   atomic.Pointer[tilePart]
+	tilesMu sync.Mutex // serializes TilePartition builds
 
 	// ov stages post-Freeze insertions so the frozen views stay usable:
 	// searches merge the flat results with this delta instead of
@@ -233,6 +242,39 @@ func (ix *Index) EnsureGrid(maxEps float64) error {
 	}
 	ix.grid.Store(g)
 	return nil
+}
+
+// tilePart is one cached tile partition together with the key it was
+// built under.
+type tilePart struct {
+	grid   *gridindex.Flat
+	target int
+	part   *tiling.Partition // nil when tiling was not applicable
+}
+
+// TilePartition returns the tile partition of the current grid snapshot
+// for the given tile-count target, building and caching it on first use.
+// The cache is keyed by the snapshot pointer, so any grid rebuild (an
+// EnsureGrid re-side for a larger ε, or a re-freeze after streaming
+// inserts) makes the next call cut fresh tiles. Returns nil when there
+// is no grid or the grid/target cannot yield at least two tiles; safe
+// for concurrent callers.
+func (ix *Index) TilePartition(target int) *tiling.Partition {
+	g := ix.grid.Load()
+	if g == nil {
+		return nil
+	}
+	if tp := ix.tiles.Load(); tp != nil && tp.grid == g && tp.target == target {
+		return tp.part
+	}
+	ix.tilesMu.Lock()
+	defer ix.tilesMu.Unlock()
+	if tp := ix.tiles.Load(); tp != nil && tp.grid == g && tp.target == target {
+		return tp.part
+	}
+	p := tiling.Build(g, target)
+	ix.tiles.Store(&tilePart{grid: g, target: target, part: p})
+	return p
 }
 
 // ErrDeleteUnsupported is returned by Index.Delete: every execution path

@@ -69,6 +69,15 @@ type ParallelOptions struct {
 	Rec *obs.Recorder
 	// Variant is the variant ID used in trace events and Helper offers.
 	Variant int32
+	// Tiles selects tile-level parallelism (variant → tile → chunk) on
+	// grid-kind indexes: the grid is cut into point-balanced tiles with
+	// ε-halos, tiles cluster concurrently, and boundary clusters merge
+	// across seams — byte-identical to the untiled run. 0 is automatic
+	// (tile when Workers and the point count justify it), 1 forces the
+	// untiled chunked path, >= 2 requests that many tiles. Ignored (falls
+	// back to untiled) when no grid serves the run: R-tree kind, or
+	// staged inserts not yet re-frozen.
+	Tiles int
 }
 
 // parallelChunk is the number of contiguous grid-sorted points a worker
@@ -105,6 +114,9 @@ func RunParallelOpts(ctx context.Context, ix *Index, p Params, opt ParallelOptio
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if res, handled, err := runTiled(ctx, ix, p, opt, m, workers); handled {
+		return res, err
 	}
 	nChunks := (n + parallelChunk - 1) / parallelChunk
 	if workers > nChunks {
@@ -199,6 +211,33 @@ func RunParallelOpts(ctx context.Context, ix *Index, p Params, opt ParallelOptio
 	// sets by ascending minimum core index — precisely Run's formation
 	// order — and label core points.
 	opt.Rec.PhaseBegin(opt.Variant, obs.PhaseLabel)
+	cid := labelCores(res, core, dsu)
+	opt.Rec.PhaseEnd(opt.Variant, obs.PhaseLabel)
+
+	// Phase 4: border attachment. A border point joins the lowest-cid
+	// cluster that has a core point within ε — Run's first-absorber — via
+	// an atomic min-reduction over the retained core neighborhoods.
+	attach := make([]atomic.Int32, n)
+	opt.Rec.PhaseBegin(opt.Variant, obs.PhaseBorder)
+	runPhase(workers, opt, borderBody(ctx, core, neighborhoods, res.Labels, attach))
+	opt.Rec.PhaseEnd(opt.Variant, obs.PhaseBorder)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	finishBorders(res, core, attach)
+	res.NumClusters = int(cid)
+	return res, nil
+}
+
+// labelCores is the sequential labeling pass shared by the chunked and
+// tiled runners: number the core DSU components by ascending minimum
+// core index — precisely Run's formation order — write the core labels,
+// and return the cluster count. Because ConcurrentDSU roots are the
+// minimum member index, the first time a component is seen is at its
+// minimum core point, exactly when Run would have formed it.
+func labelCores(res *cluster.Result, core []bool, dsu *unionfind.ConcurrentDSU) int32 {
+	n := len(core)
 	rootID := make([]int32, n)
 	var cid int32
 	for i := 0; i < n; i++ {
@@ -212,19 +251,23 @@ func RunParallelOpts(ctx context.Context, ix *Index, p Params, opt ParallelOptio
 		}
 		res.Labels[i] = rootID[r]
 	}
-	opt.Rec.PhaseEnd(opt.Variant, obs.PhaseLabel)
+	return cid
+}
 
-	// Phase 4: border attachment. A border point joins the lowest-cid
-	// cluster that has a core point within ε — Run's first-absorber — via
-	// an atomic min-reduction over the retained core neighborhoods.
-	attach := make([]atomic.Int32, n)
-	var cursor3 atomic.Int64
-	attachBorders := func() {
+// borderBody returns the border-attachment worker body shared by the
+// chunked and tiled runners. Workers claim chunks of core points from a
+// cursor captured in the closure and CAS-min each non-core neighbor's
+// attachment to the lowest adjacent cluster id — Run's first absorber,
+// computed order-independently.
+func borderBody(ctx context.Context, core []bool, neighborhoods [][]int32, labels []int32, attach []atomic.Int32) func() {
+	n := len(core)
+	var cursor atomic.Int64
+	return func() {
 		for {
 			if ctx.Err() != nil {
 				break
 			}
-			lo := int(cursor3.Add(1)-1) * parallelChunk
+			lo := int(cursor.Add(1)-1) * parallelChunk
 			if lo >= n {
 				break
 			}
@@ -233,7 +276,7 @@ func RunParallelOpts(ctx context.Context, ix *Index, p Params, opt ParallelOptio
 				if !core[i] {
 					continue
 				}
-				label := res.Labels[i]
+				label := labels[i]
 				for _, j := range neighborhoods[i] {
 					if core[j] {
 						continue
@@ -251,14 +294,12 @@ func RunParallelOpts(ctx context.Context, ix *Index, p Params, opt ParallelOptio
 			}
 		}
 	}
-	opt.Rec.PhaseBegin(opt.Variant, obs.PhaseBorder)
-	runPhase(workers, opt, attachBorders)
-	opt.Rec.PhaseEnd(opt.Variant, obs.PhaseBorder)
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
+}
 
-	for i := 0; i < n; i++ {
+// finishBorders resolves every non-core point: the attached cluster if
+// any core absorbed it, noise otherwise.
+func finishBorders(res *cluster.Result, core []bool, attach []atomic.Int32) {
+	for i := range core {
 		if core[i] {
 			continue
 		}
@@ -268,8 +309,6 @@ func RunParallelOpts(ctx context.Context, ix *Index, p Params, opt ParallelOptio
 			res.Labels[i] = cluster.Noise
 		}
 	}
-	res.NumClusters = int(cid)
-	return res, nil
 }
 
 // runPhase drives body on workers goroutines (the caller's included) plus

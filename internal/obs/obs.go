@@ -100,7 +100,8 @@ type Phase uint8
 // Phases of a variant execution. Expand and Scratch are VariantDBSCAN's two
 // sequential phases (Algorithm 3: seed-cluster expansion, then the
 // from-scratch remainder); Mark/Link/Label/Border are the intra-variant
-// parallel DBSCAN phases of dbscan.RunParallelOpts.
+// parallel DBSCAN phases of dbscan.RunParallelOpts; TileRun/TileMerge are
+// the tile-level phases of its ε-halo sharded path.
 const (
 	// PhaseExpand is the seed-cluster reuse expansion (Alg. 3 lines 8–17:
 	// cluster copy, MBB sweep, edge search, EXPANDCLUSTER).
@@ -122,6 +123,13 @@ const (
 	// flat snapshot is installed and the covered overlay segment retired.
 	// Recorded with variant = -1 (it belongs to the index, not a variant).
 	PhaseRefreeze
+	// PhaseTileRun is the tiled parallel runner's per-tile clustering
+	// sweep: every tile's ε-searches, core marking, and intra-tile
+	// linking (dbscan tiled path, phases A of the tile schedule).
+	PhaseTileRun
+	// PhaseTileMerge is the cross-tile seam merge: re-walking seam cells
+	// to union core-core ε-edges that straddle tile boundaries.
+	PhaseTileMerge
 )
 
 // String implements fmt.Stringer.
@@ -141,6 +149,10 @@ func (p Phase) String() string {
 		return "border"
 	case PhaseRefreeze:
 		return "refreeze"
+	case PhaseTileRun:
+		return "tile-run"
+	case PhaseTileMerge:
+		return "tile-merge"
 	default:
 		return fmt.Sprintf("Phase(%d)", uint8(p))
 	}

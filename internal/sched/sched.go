@@ -124,6 +124,12 @@ type Options struct {
 	// changing any clustering result (the parallel from-scratch path is
 	// label-identical to sequential DBSCAN).
 	DonateIdle bool
+	// Tiles selects tile-level parallelism for from-scratch executions on
+	// grid-kind indexes (dbscan.ParallelOptions.Tiles): 0 is automatic,
+	// 1 untiled, >= 2 an explicit tile target. Label-identical to the
+	// untiled run; a value above 1 also enables the parallel from-scratch
+	// path, like IntraWorkers.
+	Tiles int
 	// Metrics optionally accumulates work counters across all variants.
 	Metrics *metrics.Counters
 	// Tracer optionally records the run's execution timeline: variant
@@ -140,7 +146,7 @@ type Options struct {
 
 // intraEnabled reports whether from-scratch executions should take the
 // parallel path.
-func (o Options) intraEnabled() bool { return o.IntraWorkers > 1 || o.DonateIdle }
+func (o Options) intraEnabled() bool { return o.IntraWorkers > 1 || o.DonateIdle || o.Tiles > 1 }
 
 // VariantResult is the outcome of one variant execution.
 type VariantResult struct {
@@ -517,7 +523,7 @@ func ExecuteContext(ctx context.Context, ix *dbscan.Index, vs []variant.Variant,
 					if w < 1 {
 						w = 1
 					}
-					popt := dbscan.ParallelOptions{Workers: w, Rec: rec, Variant: int32(v.ID)}
+					popt := dbscan.ParallelOptions{Workers: w, Rec: rec, Variant: int32(v.ID), Tiles: opt.Tiles}
 					if pool != nil {
 						popt.Helper = pool
 					}

@@ -38,6 +38,7 @@ type batch struct {
 	union []vdbscan.Params // deduplicated union of member variant lists
 	keys  map[string]int   // param key -> union index
 	live  int              // member jobs not yet terminal
+	tiles int              // max tiles requested across members (0 = server default)
 
 	// Set once by runBatch after the run; read by the trace/labels handlers.
 	points      int // dataset size the run saw
@@ -79,6 +80,9 @@ func (b *batch) add(j *job) int {
 			b.keys[k] = slot
 		}
 		j.slots[i] = slot
+	}
+	if j.tiles > b.tiles {
+		b.tiles = j.tiles
 	}
 	b.jobs = append(b.jobs, j)
 	b.live++
@@ -161,8 +165,15 @@ func (s *Server) runBatch(b *batch) {
 
 	tr := vdbscan.NewTracer()
 	var work vdbscan.Work
+	b.mu.Lock()
+	tiles := b.tiles
+	b.mu.Unlock()
+	if tiles == 0 {
+		tiles = s.cfg.Tiles
+	}
 	run, err := idx.ClusterVariants(union,
 		vdbscan.WithThreads(s.cfg.Threads),
+		vdbscan.WithTiles(tiles),
 		vdbscan.WithContext(b.ctx),
 		vdbscan.WithTracer(tr),
 		vdbscan.WithWork(&work),

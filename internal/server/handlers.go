@@ -37,6 +37,11 @@ type jobRequest struct {
 	Variants []variantSpec `json:"variants"`
 	// TimeoutMS overrides the server's default job deadline (milliseconds).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Tiles overrides the server's tile-level parallelism for this job's
+	// run (0 = server default/auto, 1 = untiled, >= 2 = tile target).
+	// Labels are identical at any tile count; when coalescing merges jobs
+	// the batch runs with the largest requested value.
+	Tiles int `json:"tiles,omitempty"`
 }
 
 // variantDoc is one per-variant result inside a job document.
@@ -283,8 +288,13 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 	}
+	if req.Tiles < 0 {
+		writeErr(w, http.StatusBadRequest, "tiles must be >= 0 (got %d)", req.Tiles)
+		return
+	}
 
 	j := s.jobs.new(d.id, params, timeout)
+	j.tiles = req.Tiles
 	if err := s.admit(j); err != nil {
 		switch err {
 		case errQueueFull:

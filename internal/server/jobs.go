@@ -44,6 +44,7 @@ type job struct {
 
 	batch *batch // assigned at admission, never changes
 	slots []int  // params[i] -> index into the batch's union variant list
+	tiles int    // requested tile-level parallelism (0 = server default)
 
 	mu       sync.Mutex
 	state    string

@@ -85,6 +85,13 @@ type Config struct {
 	// (zero = the packed R-tree pair; a per-upload ?index= query
 	// parameter overrides it).
 	IndexKind vdbscan.IndexKind
+	// Tiles is the default tile-level parallelism for batch runs
+	// (vdbscan.WithTiles): 0 auto, 1 untiled, >= 2 an explicit tile
+	// target. A per-job "tiles" parameter overrides it; when coalescing
+	// folds jobs with different requests into one batch, the largest
+	// wins (labels are identical at any tile count, so the choice only
+	// affects latency).
+	Tiles int
 }
 
 func (c Config) withDefaults() Config {

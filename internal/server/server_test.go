@@ -304,6 +304,37 @@ func TestUploadIndexKind(t *testing.T) {
 	}
 }
 
+// TestJobTilesParam covers the per-job "tiles" parameter: a negative value
+// 400s, and the same job on a grid-backed dataset yields byte-identical
+// labels tiled (tiles=4) and untiled (tiles=1) — the service-level face of
+// the tiled runner's exactness contract.
+func TestJobTilesParam(t *testing.T) {
+	_, c := newTestServer(t, Config{Threads: 2})
+	doc := c.doJSON("POST", "/v1/datasets?name=tl&index=grid",
+		pointsCSV(t, testPoints(t, 1500)), http.StatusCreated)
+	ds := doc["id"].(string)
+
+	c.submitJob(ds, `{"variants":[{"eps":2,"minpts":4}],"tiles":-1}`, http.StatusBadRequest)
+
+	labels := map[int][]byte{}
+	for _, tiles := range []int{4, 1} {
+		job := fmt.Sprintf(`{"variants":[{"eps":2,"minpts":8},{"eps":3,"minpts":4}],"tiles":%d}`, tiles)
+		sub := c.submitJob(ds, job, http.StatusAccepted)
+		done := c.waitDone(sub["id"].(string))
+		if done["state"] != stateDone {
+			t.Fatalf("tiles=%d job finished %v (%v)", tiles, done["state"], done["error"])
+		}
+		code, _, out := c.do("GET", "/v1/jobs/"+sub["id"].(string)+"/labels?variant=1", nil)
+		if code != http.StatusOK {
+			t.Fatalf("tiles=%d labels = %d: %s", tiles, code, out)
+		}
+		labels[tiles] = out
+	}
+	if !bytes.Equal(labels[4], labels[1]) {
+		t.Error("tiles=4 job produced different labels than tiles=1")
+	}
+}
+
 // TestBackpressure429 pins the bounded-queue contract: the QueueDepth+1-th
 // submission is rejected with 429 and a Retry-After hint, and canceling a
 // queued job frees its slot.

@@ -216,6 +216,7 @@ type config struct {
 	binWidth     float64
 	threads      int
 	intraThreads int
+	tiles        int
 	scheme       ReuseScheme
 	strategy     SchedStrategy
 	minSeedSize  int
@@ -309,6 +310,19 @@ func WithThreads(t int) RunOption { return runOpt(func(c *config) { c.threads = 
 // WithThreads(T) × WithIntraThreads(n) can oversubscribe T·n goroutines;
 // that is the caller's trade to make.
 func WithIntraThreads(n int) RunOption { return runOpt(func(c *config) { c.intraThreads = n }) }
+
+// WithTiles sets tile-level parallelism — the third level of the
+// variant → tile → chunk hierarchy. On grid indexes
+// (WithIndexKind(IndexGrid)), the grid-sorted point array is cut into
+// roughly n point-balanced tiles with ε-wide halos; tiles cluster
+// concurrently and boundary clusters are merged exactly across tile
+// seams, so labels are byte-identical to the untiled run at any tile
+// count. 0 (the default) is auto mode: tile when the effective worker
+// width and the point count justify it. 1 disables tiling. The option is
+// silently a no-op where no grid serves the run — the R-tree index kind,
+// or streaming inserts staged since the last re-freeze — which keeps it
+// safe to set unconditionally.
+func WithTiles(n int) RunOption { return runOpt(func(c *config) { c.tiles = n }) }
 
 // WithReuseScheme selects the cluster-reuse prioritization
 // (default ClusDensity).
@@ -414,9 +428,9 @@ func (x *Index) Cluster(p Params, opts ...RunOption) (*Clustering, error) {
 	c.tracer.StartRun(start, "single-variant", []string{p.String()})
 	rec := c.tracer.Worker(0)
 	rec.Event(obs.KindStarted, 0, 0, 0)
-	if width > 1 {
+	if width > 1 || c.tiles > 1 {
 		res, err = dbscan.RunParallelOpts(c.ctx, x.ix, p,
-			dbscan.ParallelOptions{Workers: width, Rec: rec}, &m)
+			dbscan.ParallelOptions{Workers: width, Rec: rec, Tiles: c.tiles}, &m)
 	} else {
 		rec.PhaseBegin(0, obs.PhaseScratch)
 		res, err = dbscan.RunCtx(c.ctx, x.ix, p, &m)
@@ -507,6 +521,7 @@ func (x *Index) ClusterVariants(params []Params, opts ...RunOption) (*VariantRun
 		MinSeedSize:  c.minSeedSize,
 		DisableReuse: c.disableReuse,
 		IntraWorkers: c.intraThreads,
+		Tiles:        c.tiles,
 		DonateIdle:   c.threads > 1 || c.intraThreads > 1,
 		Metrics:      &m,
 		Tracer:       c.tracer,
