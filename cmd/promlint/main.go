@@ -1,0 +1,74 @@
+// Command promlint validates a Prometheus text-format exposition with the
+// in-tree parser (internal/obs/prom) — a promtool-style lint with no
+// external dependency, used by CI against vdbscand's live /metrics output.
+//
+// Usage:
+//
+//	curl -s localhost:8714/metrics | promlint -min-histograms 5 -require-labels dataset,index,tiled
+//	promlint metrics.txt
+//
+// Exit status is non-zero when the input is malformed or a requirement is
+// unmet; on success it prints a one-line summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"vdbscan/internal/obs/prom"
+)
+
+func main() {
+	minHist := flag.Int("min-histograms", 0, "fail unless at least this many histogram families are present")
+	requireLabels := flag.String("require-labels", "",
+		"comma-separated label names every histogram family must carry on its samples")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		in, name = f, flag.Arg(0)
+	} else if flag.NArg() > 1 {
+		fatal("usage: promlint [flags] [file]")
+	}
+
+	exp, err := prom.Parse(in)
+	if err != nil {
+		fatal("%s: %v", name, err)
+	}
+	if got := exp.Histograms(); got < *minHist {
+		fatal("%s: %d histogram families, want >= %d", name, got, *minHist)
+	}
+	if *requireLabels != "" {
+		want := strings.Split(*requireLabels, ",")
+		for _, fam := range exp.Families {
+			if fam.Type != "histogram" || len(fam.Samples) == 0 {
+				continue
+			}
+			for _, l := range want {
+				if _, ok := fam.Samples[0].Labels[strings.TrimSpace(l)]; !ok {
+					fatal("%s: histogram %s missing required label %q", name, fam.Name, l)
+				}
+			}
+		}
+	}
+	samples := 0
+	for _, fam := range exp.Families {
+		samples += len(fam.Samples)
+	}
+	fmt.Printf("promlint: %s ok — %d families (%d histograms), %d samples\n",
+		name, len(exp.Families), exp.Histograms(), samples)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "promlint: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -21,7 +21,18 @@
 //	GET    /v1/jobs/{id}           poll (?wait=10s long-polls)
 //	GET    /v1/jobs/{id}/labels    per-variant labels CSV (?variant=N)
 //	GET    /v1/jobs/{id}/trace     execution trace (?format=chrome|text)
-//	GET    /metrics                counters, plain text
+//	GET    /v1/jobs/{id}/events    live job progress as Server-Sent Events
+//	GET    /metrics                Prometheus text exposition
+//
+// With -admin-addr set, a second listener serves the operator plane:
+// /debug/pprof/*, /admin/runtime, /admin/goroutines, plus /metrics and
+// /healthz — kept off the service port so profiling endpoints are never
+// exposed to clustering clients.
+//
+// Structured logs (log/slog) go to stderr; -log-format picks text or JSON
+// and -log-level picks debug|info|warn|error. Every line carries the
+// request/job/batch/dataset IDs involved, so one job's admission, batch
+// seal, run, and completion grep together.
 //
 // On SIGTERM/SIGINT the daemon drains: admission stops (new work gets 503),
 // running and queued batches finish, staged dataset appends are folded into
@@ -33,7 +44,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -55,6 +66,9 @@ func main() {
 // erroring on set-but-unparsable values instead of silently ignoring them.
 type envDefaults struct {
 	addr         string
+	adminAddr    string
+	logLevel     string
+	logFormat    string
 	threads      int
 	queue        int
 	runners      int
@@ -68,7 +82,12 @@ type envDefaults struct {
 }
 
 func loadEnv() (envDefaults, error) {
-	d := envDefaults{addr: cliutil.EnvOr("VDBSCAND_ADDR", ":8714")}
+	d := envDefaults{
+		addr:      cliutil.EnvOr("VDBSCAND_ADDR", ":8714"),
+		adminAddr: cliutil.EnvOr("VDBSCAND_ADMIN_ADDR", ""),
+		logLevel:  cliutil.EnvOr("VDBSCAND_LOG_LEVEL", "info"),
+		logFormat: cliutil.EnvOr("VDBSCAND_LOG_FORMAT", "text"),
+	}
 	var err error
 	if d.threads, err = cliutil.EnvIntOr("VDBSCAND_THREADS", 1); err != nil {
 		return d, err
@@ -107,6 +126,10 @@ func run() error {
 		return err
 	}
 	addr := flag.String("addr", env.addr, "listen address")
+	adminAddr := flag.String("admin-addr", env.adminAddr,
+		"admin listen address for /debug/pprof and /admin/* (empty disables)")
+	logLevel := flag.String("log-level", env.logLevel, "log level: debug, info, warn, or error")
+	logFormat := flag.String("log-format", env.logFormat, "log format: text or json")
 	threads := flag.Int("threads", env.threads, "vdbscan worker goroutines per batch run")
 	queue := flag.Int("queue", env.queue, "max queued jobs before 429 backpressure")
 	runners := flag.Int("runners", env.runners, "concurrent batch runs")
@@ -125,6 +148,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
 	srv := server.New(server.Config{
 		Threads:        *threads,
 		QueueDepth:     *queue,
@@ -135,6 +162,7 @@ func run() error {
 		IndexR:         *leafR,
 		Tiles:          *tiles,
 		IndexKind:      kindVal,
+		Logger:         logger,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -143,10 +171,22 @@ func run() error {
 
 	serveErr := make(chan error, 1)
 	go func() {
-		log.Printf("vdbscand listening on %s (threads=%d queue=%d batch-window=%s runners=%d)",
-			*addr, *threads, *queue, *batchWindow, *runners)
+		logger.Info("vdbscand listening",
+			"addr", *addr, "threads", *threads, "queue", *queue,
+			"batch_window", *batchWindow, "runners", *runners)
 		serveErr <- httpSrv.ListenAndServe()
 	}()
+
+	var adminSrv *http.Server
+	if *adminAddr != "" {
+		adminSrv = &http.Server{Addr: *adminAddr, Handler: srv.AdminHandler()}
+		go func() {
+			logger.Info("vdbscand admin listening", "addr", *adminAddr)
+			if err := adminSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("admin listener failed", "err", err)
+			}
+		}()
+	}
 
 	select {
 	case err := <-serveErr:
@@ -155,18 +195,50 @@ func run() error {
 	}
 
 	// Graceful drain: stop admitting (handlers now 503), finish running and
-	// queued batches, flush staged re-freezes — then stop the listener.
-	log.Printf("vdbscand draining (timeout %s)", *drainTimeout)
+	// queued batches, flush staged re-freezes — then stop the listeners.
+	logger.Info("vdbscand draining", "timeout", *drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Drain(drainCtx); err != nil {
-		log.Printf("vdbscand drain incomplete: %v", err)
+		logger.Warn("vdbscand drain incomplete", "err", err)
 	} else {
-		log.Printf("vdbscand drained")
+		logger.Info("vdbscand drained")
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("vdbscand http shutdown: %v", err)
+		logger.Warn("vdbscand http shutdown", "err", err)
+	}
+	if adminSrv != nil {
+		if err := adminSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			logger.Warn("vdbscand admin shutdown", "err", err)
+		}
 	}
 	srv.Close()
 	return nil
+}
+
+// buildLogger assembles the slog stderr logger from the -log-level and
+// -log-format flags.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
 }

@@ -1,8 +1,9 @@
 // Servedemo is a vdbscand client: it spins up the clustering service
-// in-process, uploads a dataset, submits a variant job over HTTP, long-polls
-// until the job completes, and fetches the execution trace — the full
-// submit → poll → results → trace loop a real client would run against a
-// deployed daemon.
+// in-process, uploads a dataset, submits a variant job over HTTP, watches
+// the job live over the Server-Sent Events stream (falling back to
+// long-polling when streaming is unavailable), and fetches the execution
+// trace — the full submit → watch → results → trace loop a real client
+// would run against a deployed daemon.
 //
 // Run `go run ./examples/servedemo`, or point it at an already-running
 // daemon with -addr (e.g. `vdbscand -addr :8714 &` then
@@ -10,6 +11,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -62,12 +64,21 @@ func main() {
 	jobID := job["id"].(string)
 	fmt.Printf("submitted job %s (state %v, batch %v)\n", jobID, job["state"], job["batch"])
 
-	// 3. Long-poll: ?wait holds the request until the job turns terminal.
-	for job["state"] == "queued" || job["state"] == "running" {
-		job = getDoc(base + "/v1/jobs/" + jobID + "?wait=10s")
+	// 3. Watch live: the SSE stream pushes queued → batched → running →
+	// per-variant progress → done without any polling. If the stream can't
+	// be opened (old daemon, proxy stripping streaming), fall back to
+	// long-polling the job document.
+	final := watchSSE(base, jobID)
+	if final == "" {
+		fmt.Println("SSE unavailable; falling back to long-poll")
+		for job["state"] == "queued" || job["state"] == "running" {
+			job = getDoc(base + "/v1/jobs/" + jobID + "?wait=10s")
+		}
+		final = job["state"].(string)
 	}
-	if job["state"] != "done" {
-		log.Fatalf("job %s ended %v: %v", jobID, job["state"], job["error"])
+	job = getDoc(base + "/v1/jobs/" + jobID)
+	if final != "done" {
+		log.Fatalf("job %s ended %v: %v", jobID, final, job["error"])
 	}
 
 	fmt.Printf("\n%-16s %9s %7s %8s %8s\n", "variant", "clusters", "noise", "reused", "scratch")
@@ -95,6 +106,62 @@ func main() {
 			fmt.Printf("metric: %s\n", line)
 		}
 	}
+}
+
+// watchSSE consumes the job's event stream, printing a live line per
+// lifecycle change and per completed variant. Returns the terminal state,
+// or "" if streaming was unavailable (the caller then long-polls).
+func watchSSE(base, jobID string) string {
+	resp, err := http.Get(base + "/v1/jobs/" + jobID + "/events")
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK ||
+		!strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		return ""
+	}
+	sc := bufio.NewScanner(resp.Body)
+	event, data := "", ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "" && event != "":
+			var f map[string]any
+			if err := json.Unmarshal([]byte(data), &f); err != nil {
+				f = map[string]any{}
+			}
+			switch event {
+			case "queued", "batched", "running":
+				fmt.Printf("  job %s: %s\n", jobID, event)
+			case "progress":
+				src := "from scratch"
+				if f["from_scratch"] != true {
+					src = fmt.Sprintf("reused %.1f%% of variant %v",
+						asFloat(f["fraction_reused"])*100, f["source"])
+				}
+				fmt.Printf("  [%v/%v] variant %v done in %.1fms (%s)\n",
+					f["done"], f["total"], f["variant"], asFloat(f["duration_ms"]), src)
+			case "phase":
+				fmt.Printf("  variant %v: %v %v\n", f["variant"], f["phase"], f["state"])
+			case "done", "failed", "canceled":
+				fmt.Printf("  job %s: %s (%.1fms end to end)\n",
+					jobID, event, asFloat(f["duration_ms"]))
+				return event
+			}
+			event, data = "", ""
+		}
+	}
+	return "" // stream broke before the terminal frame
+}
+
+func asFloat(v any) float64 {
+	f, _ := v.(float64)
+	return f
 }
 
 func postDoc(url string, body []byte) map[string]any {

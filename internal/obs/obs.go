@@ -202,6 +202,7 @@ type Tracer struct {
 	names    []string // variant ID -> display label
 	end      time.Duration
 	recs     map[int32]*Recorder
+	sink     func(Event)
 }
 
 // TracerOption configures NewTracer.
@@ -215,6 +216,18 @@ func WithRingCap(n int) TracerOption {
 		}
 		t.ringCap = n
 	}
+}
+
+// WithSink attaches a live event sink: every recorded event is also passed
+// to fn at record time, before the run finishes — the feed for streaming
+// progress surfaces (SSE) that cannot wait for the post-run exporters.
+//
+// fn is called from whichever worker goroutine records the event, so it
+// must be safe for concurrent use, and it sits on the recording path (still
+// variant/phase granularity, never per ε-search) — it must be fast and
+// non-blocking, or it becomes the run's bottleneck.
+func WithSink(fn func(Event)) TracerOption {
+	return func(t *Tracer) { t.sink = fn }
 }
 
 // NewTracer returns an enabled tracer ready to be passed to a run.
@@ -271,7 +284,7 @@ func (t *Tracer) Worker(id int) *Recorder {
 	if r, ok := t.recs[w]; ok {
 		return r
 	}
-	r := &Recorder{t0: t.t0, worker: w, buf: make([]Event, 0, t.ringCap)}
+	r := &Recorder{t0: t.t0, worker: w, buf: make([]Event, 0, t.ringCap), sink: t.sink}
 	t.recs[w] = r
 	return r
 }
@@ -358,10 +371,14 @@ type Recorder struct {
 	buf     []Event // grows to cap once, then rotates via head
 	head    int     // oldest element once the ring is saturated
 	dropped int64
+	sink    func(Event) // live sink shared by all recorders; may be nil
 }
 
 // push appends an event, overwriting the oldest once the ring is full.
 func (r *Recorder) push(e Event) {
+	if r.sink != nil {
+		r.sink(e)
+	}
 	if len(r.buf) < cap(r.buf) {
 		r.buf = append(r.buf, e)
 		return
@@ -438,7 +455,12 @@ type ProgressEvent struct {
 	// completed variants.
 	FractionReused     float64
 	MeanFractionReused float64
-	// Elapsed is the time since the run started (same monotonic basis as
-	// the trace and VariantResult.Start/End).
-	Elapsed time.Duration
+	// FromScratch reports whether the variant ran plain DBSCAN (no reuse
+	// source qualified).
+	FromScratch bool
+	// Duration is the completed variant's own response time (its End −
+	// Start offsets); Elapsed is the time since the run started (same
+	// monotonic basis as the trace and VariantResult.Start/End).
+	Duration time.Duration
+	Elapsed  time.Duration
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -257,5 +258,57 @@ func TestKindPhaseStrings(t *testing.T) {
 	}
 	if KindDone.String() != "done" || KindSeedSelected.String() != "seed-selected" {
 		t.Fatal("kind names changed; timeline output depends on them")
+	}
+}
+
+// TestSinkReceivesLiveEvents: a WithSink tracer forwards every recorded
+// event to the sink at record time, in addition to the ring buffers, and
+// the sink sees concurrent workers safely (run under -race).
+func TestSinkReceivesLiveEvents(t *testing.T) {
+	var mu sync.Mutex
+	var got []Event
+	tr := NewTracer(WithSink(func(e Event) {
+		mu.Lock()
+		got = append(got, e)
+		mu.Unlock()
+	}))
+	tr.StartRun(time.Now(), "SCHEDGREEDY", []string{"v0", "v1"})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rec := tr.Worker(w)
+			rec.Event(KindStarted, int32(w%2), 0, 0)
+			rec.PhaseBegin(int32(w%2), PhaseTileRun)
+			rec.PhaseEnd(int32(w%2), PhaseTileRun)
+			rec.Done(int32(w%2), -1, 0, metrics.Snapshot{NeighborSearches: 5})
+		}(w)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if want := 4 * 4; len(got) != want {
+		t.Fatalf("sink saw %d events, want %d", len(got), want)
+	}
+	kinds := map[Kind]int{}
+	for _, e := range got {
+		kinds[e.Kind]++
+	}
+	if kinds[KindDone] != 4 || kinds[KindPhaseBegin] != 4 {
+		t.Fatalf("sink kind histogram %v", kinds)
+	}
+	// The ring still captured everything too: the sink is additive.
+	if evs := tr.Events(); len(evs) != 16 {
+		t.Fatalf("ring kept %d events, want 16", len(evs))
+	}
+	// The Done events carry the per-variant work delta the live consumer
+	// (the serving plane's histograms) depends on.
+	for _, e := range got {
+		if e.Kind == KindDone && e.Work.NeighborSearches != 5 {
+			t.Fatalf("done event lost its work delta: %+v", e)
+		}
 	}
 }

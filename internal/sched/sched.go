@@ -454,6 +454,8 @@ func ExecuteContext(ctx context.Context, ix *dbscan.Index, vs []variant.Variant,
 			Worker:             vr.Worker,
 			FractionReused:     vr.Stats.FractionReused,
 			MeanFractionReused: prog.fracSum / float64(prog.done),
+			FromScratch:        vr.Stats.FromScratch,
+			Duration:           vr.End - vr.Start,
 			Elapsed:            vr.End,
 		})
 	}

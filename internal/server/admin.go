@@ -1,0 +1,75 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	rtpprof "runtime/pprof"
+	"time"
+)
+
+// AdminHandler returns the operator-facing surface, meant for a separate
+// listener (an internal port, never the service port): the full
+// net/http/pprof suite, a runtime-stats JSON endpoint, a plain-text
+// goroutine dump, plus /metrics and /healthz so an operator pointed at the
+// admin port alone can see everything.
+func (s *Server) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /admin/runtime", s.handleAdminRuntime)
+	mux.HandleFunc("GET /admin/goroutines", handleGoroutineDump)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// runtimeDoc is the /admin/runtime JSON shape: the numbers an operator
+// checks before reaching for a profile.
+type runtimeDoc struct {
+	GoVersion     string  `json:"go_version"`
+	NumCPU        int     `json:"num_cpu"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	Goroutines    int     `json:"goroutines"`
+	HeapAllocMB   float64 `json:"heap_alloc_mb"`
+	HeapInuseMB   float64 `json:"heap_inuse_mb"`
+	SysMB         float64 `json:"sys_mb"`
+	NumGC         uint32  `json:"num_gc"`
+	GCPauseMS     float64 `json:"gc_pause_total_ms"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	StartTime     string  `json:"start_time"`
+	Draining      bool    `json:"draining"`
+	QueueDepth    int     `json:"queue_depth"`
+}
+
+func (s *Server) handleAdminRuntime(w http.ResponseWriter, r *http.Request) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	const mb = 1 << 20
+	writeJSON(w, http.StatusOK, runtimeDoc{
+		GoVersion:     runtime.Version(),
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Goroutines:    runtime.NumGoroutine(),
+		HeapAllocMB:   float64(ms.HeapAlloc) / mb,
+		HeapInuseMB:   float64(ms.HeapInuse) / mb,
+		SysMB:         float64(ms.Sys) / mb,
+		NumGC:         ms.NumGC,
+		GCPauseMS:     float64(ms.PauseTotalNs) / 1e6,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		StartTime:     s.start.UTC().Format(time.RFC3339Nano),
+		Draining:      s.draining.Load(),
+		QueueDepth:    s.queueDepth(),
+	})
+}
+
+// handleGoroutineDump writes the full stacks of every goroutine — the
+// "what is the server stuck on" endpoint, cheaper to ask for than a pprof
+// profile and readable without tooling.
+func handleGoroutineDump(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	rtpprof.Lookup("goroutine").WriteTo(w, 2) //nolint:errcheck // client gone
+}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestAdminSurface exercises the operator plane: pprof index, runtime
+// stats JSON, the goroutine dump, and the shared /metrics + /healthz.
+func TestAdminSurface(t *testing.T) {
+	s := New(Config{Threads: 1})
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.AdminHandler())
+	t.Cleanup(ts.Close)
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index = %d: %.80s", code, body)
+	}
+	if code, body := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("pprof cmdline = %d: %.80s", code, body)
+	}
+
+	code, body := get("/admin/runtime")
+	if code != http.StatusOK {
+		t.Fatalf("admin/runtime = %d", code)
+	}
+	var doc runtimeDoc
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("runtime doc: %v\n%s", err, body)
+	}
+	if doc.Goroutines < 1 || doc.GOMAXPROCS < 1 || doc.GoVersion == "" {
+		t.Errorf("implausible runtime doc: %+v", doc)
+	}
+	if doc.UptimeSeconds <= 0 {
+		t.Errorf("uptime = %g, want > 0", doc.UptimeSeconds)
+	}
+
+	if code, body := get("/admin/goroutines"); code != http.StatusOK ||
+		!strings.Contains(body, "goroutine") {
+		t.Errorf("goroutine dump = %d: %.80s", code, body)
+	}
+	if code, body := get("/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "vdbscand_uptime_seconds") {
+		t.Errorf("admin metrics = %d: %.120s", code, body)
+	}
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("admin healthz = %d: %s", code, body)
+	}
+}
+
+// TestRequestIDMiddleware: every service response carries a correlation ID,
+// and an inbound X-Request-Id is honored.
+func TestRequestIDMiddleware(t *testing.T) {
+	s := New(Config{Threads: 1})
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get("X-Request-Id"); id == "" {
+		t.Error("response lacks X-Request-Id")
+	}
+
+	req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-Id", "corr-42")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if id := resp2.Header.Get("X-Request-Id"); id != "corr-42" {
+		t.Errorf("inbound request ID not echoed: %q", id)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"vdbscan"
+	"vdbscan/internal/obs"
 )
 
 // Admission errors surfaced by Server.admit. handlers.go maps them to 503
@@ -26,6 +27,7 @@ var (
 type batch struct {
 	id        string
 	datasetID string
+	created   time.Time // when the batch opened; run start minus created is the coalescing window
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -53,6 +55,7 @@ func newBatch(id, datasetID string) *batch {
 	return &batch{
 		id:        id,
 		datasetID: datasetID,
+		created:   time.Now(),
 		ctx:       ctx,
 		cancel:    cancel,
 		keys:      map[string]int{},
@@ -64,9 +67,10 @@ func paramKey(p vdbscan.Params) string {
 }
 
 // add joins j to the batch: its params are folded into the deduplicated
-// union and j.slots records where each lands. Returns the member count
-// after joining. Caller holds Server.mu, which orders add against seal.
-func (b *batch) add(j *job) int {
+// union and j.slots records where each lands. Returns the member and union
+// variant counts after joining. Caller holds Server.mu, which orders add
+// against seal.
+func (b *batch) add(j *job) (members, union int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	j.batch = b
@@ -86,7 +90,7 @@ func (b *batch) add(j *job) int {
 	}
 	b.jobs = append(b.jobs, j)
 	b.live++
-	return len(b.jobs)
+	return len(b.jobs), len(b.union)
 }
 
 // leave records that a member job turned terminal before the batch
@@ -163,7 +167,6 @@ func (s *Server) runBatch(b *batch) {
 	}
 	idx, points, version := d.snapshot()
 
-	tr := vdbscan.NewTracer()
 	var work vdbscan.Work
 	b.mu.Lock()
 	tiles := b.tiles
@@ -171,15 +174,93 @@ func (s *Server) runBatch(b *batch) {
 	if tiles == 0 {
 		tiles = s.cfg.Tiles
 	}
+
+	// One label resolution per run; every observation below is lock-free.
+	ob := s.mx.batchObserver(b.datasetID, d.kind.String(), tilesLabel(tiles))
+	runStart := time.Now()
+	for _, j := range live {
+		ob.queueWait.Observe(runStart.Sub(j.created).Seconds())
+		j.events.publish(evRunning, runningFrame{
+			Job: j.id, Batch: b.id, Points: points, Version: version,
+			Variants: len(union),
+		}, true, false)
+	}
+	ob.coalesceWin.Observe(runStart.Sub(b.created).Seconds())
+
+	// Live per-variant progress: the WithProgress callback runs serially on
+	// worker goroutines, so it must stay cheap — one histogram observation
+	// and a non-blocking fan-out per completed variant.
+	progress := func(e vdbscan.ProgressEvent) {
+		ob.variantRun.Observe(e.Duration.Seconds())
+		pf := progressFrame{
+			Batch: b.id, Done: e.Done, Total: e.Total,
+			Variant: e.Variant, Source: e.Source, FromScratch: e.FromScratch,
+			FractionReused: e.FractionReused, MeanReused: e.MeanFractionReused,
+			DurationMS: float64(e.Duration) / float64(time.Millisecond),
+			ElapsedMS:  float64(e.Elapsed) / float64(time.Millisecond),
+		}
+		for _, j := range live {
+			pf.Job = j.id
+			j.events.publish(evProgress, pf, false, false)
+		}
+	}
+	// The tracer sink sees every span event at record time (concurrently,
+	// from worker goroutines). Variant completions feed the ε-search work
+	// histograms; tile-phase spans become SSE phase frames. Everything else
+	// is ignored in one switch.
+	sink := func(e obs.Event) {
+		switch e.Kind {
+		case obs.KindDone:
+			if e.Variant >= 0 && e.Work.NeighborSearches > 0 {
+				ob.epsSearches.Observe(float64(e.Work.NeighborSearches))
+				ob.candPerSearch.Observe(
+					float64(e.Work.CandidatesExamined) / float64(e.Work.NeighborSearches))
+			}
+		case obs.KindPhaseBegin, obs.KindPhaseEnd:
+			ph := phaseName(obs.Phase(e.Arg))
+			if ph == "" {
+				return // only tile phases stream; intra-variant phases stay in the trace
+			}
+			state := "begin"
+			if e.Kind == obs.KindPhaseEnd {
+				state = "end"
+			}
+			hf := phaseFrame{
+				Batch: b.id, Variant: int(e.Variant), Phase: ph, State: state,
+				AtMS: float64(e.At) / float64(time.Millisecond),
+			}
+			for _, j := range live {
+				hf.Job = j.id
+				j.events.publish(evPhase, hf, false, false)
+			}
+		}
+	}
+	tr := obs.NewTracer(obs.WithSink(sink))
+
+	s.log.Info("batch run starting",
+		"batch", b.id, "dataset", b.datasetID, "jobs", len(live),
+		"variants", len(union), "points", points, "tiles", tiles,
+		"index", d.kind.String())
 	run, err := idx.ClusterVariants(union,
 		vdbscan.WithThreads(s.cfg.Threads),
 		vdbscan.WithTiles(tiles),
 		vdbscan.WithContext(b.ctx),
 		vdbscan.WithTracer(tr),
 		vdbscan.WithWork(&work),
+		vdbscan.WithProgress(progress),
 	)
+	runDur := time.Since(runStart)
+	ob.batchRun.Observe(runDur.Seconds())
 	s.ctrs.batchesRun.Add(1)
 	s.addWork(work)
+	if err != nil {
+		s.log.Warn("batch run failed",
+			"batch", b.id, "dataset", b.datasetID, "duration", runDur, "err", err)
+	} else {
+		s.log.Info("batch run done",
+			"batch", b.id, "dataset", b.datasetID, "duration", runDur,
+			"variants", len(union), "searches", work.NeighborSearches)
+	}
 
 	var chrome, text bytes.Buffer
 	if terr := tr.WriteChromeTrace(&chrome); terr != nil {

@@ -200,6 +200,9 @@ func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.ctrs.datasets.Add(1)
+	s.log.Info("dataset created",
+		"req", requestID(r.Context()), "dataset", d.id, "name", d.name,
+		"points", len(points), "index", d.kind.String())
 	writeJSON(w, http.StatusCreated, s.datasetDoc(d))
 }
 
@@ -295,9 +298,12 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 
 	j := s.jobs.new(d.id, params, timeout)
 	j.tiles = req.Tiles
+	j.events.mx = s.mx // safe: no frame published before admit
 	if err := s.admit(j); err != nil {
 		switch err {
 		case errQueueFull:
+			s.log.Warn("job rejected: queue full",
+				"req", requestID(r.Context()), "dataset", d.id, "queued", s.queueDepth())
 			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 			writeErr(w, http.StatusTooManyRequests,
 				"job queue is full (%d queued)", s.queueDepth())
@@ -310,6 +316,9 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.jobs.put(j)
 	s.armWatchdog(j)
+	s.log.Info("job accepted",
+		"req", requestID(r.Context()), "job", j.id, "dataset", d.id,
+		"batch", j.batch.id, "variants", len(params), "timeout", timeout)
 	w.Header().Set("Location", "/v1/jobs/"+j.id)
 	writeJSON(w, http.StatusAccepted, s.jobDoc(j))
 }

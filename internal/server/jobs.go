@@ -46,6 +46,10 @@ type job struct {
 	slots []int  // params[i] -> index into the batch's union variant list
 	tiles int    // requested tile-level parallelism (0 = server default)
 
+	// events is the job's SSE broker (see events.go). Created with the job;
+	// the server wires its metrics handle before admission.
+	events *stream
+
 	mu       sync.Mutex
 	state    string
 	err      string
@@ -97,8 +101,16 @@ func (j *job) finish(state, errMsg string, results []variantOutcome) bool {
 		j.watchdog.Stop()
 		j.watchdog = nil
 	}
+	lifetime := j.finished.Sub(j.created)
 	j.mu.Unlock()
 	close(j.done)
+	// The terminal SSE frame closes the job's event stream; finish is the
+	// single choke point every terminal transition (done, failed, canceled,
+	// deadline) goes through, so no path can strand a subscriber.
+	j.events.publish(state, terminalFrame{
+		Job: j.id, State: state, Error: errMsg,
+		DurationMS: float64(lifetime) / float64(time.Millisecond),
+	}, true, true)
 	return true
 }
 
@@ -143,6 +155,7 @@ func (st *jobStore) new(datasetID string, params []vdbscan.Params, timeout time.
 		deadline:  now.Add(timeout),
 		state:     stateQueued,
 		done:      make(chan struct{}),
+		events:    newStream(),
 	}
 }
 
@@ -193,6 +206,9 @@ func (s *Server) abandon(j *job, state, errMsg string) bool {
 		s.jobLeftQueue(1)
 	}
 	j.batch.leave(j)
+	s.log.Info("job abandoned",
+		"job", j.id, "dataset", j.datasetID, "batch", j.batch.id,
+		"state", state, "err", errMsg)
 	return true
 }
 

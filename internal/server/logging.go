@@ -1,0 +1,89 @@
+package server
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// discardLogger is the default when Config.Logger is nil: a handler that
+// reports every level disabled, so call sites can log unconditionally and
+// the disabled path costs one interface call. (slog gained a stock discard
+// handler after the Go version this module pins, hence the local one.)
+func discardLogger() *slog.Logger {
+	return slog.New(discardHandler{})
+}
+
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// reqIDKey carries the request ID through the handler chain so logs from
+// admission, batching, and the run correlate back to the HTTP request that
+// caused them.
+type ctxKey int
+
+const reqIDKey ctxKey = iota
+
+// requestID returns the request's correlation ID, or "" outside a request.
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey).(string)
+	return id
+}
+
+// statusWriter captures the response code for the access log. It forwards
+// Flush so the SSE handler keeps working behind the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// withRequestID assigns each request a server-unique correlation ID
+// (honoring an inbound X-Request-Id so multi-hop traces stay joined),
+// stores it in the context, echoes it in the response, and emits one
+// access-log line per request at debug level.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = "r" + itoa(s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), reqIDKey, id)))
+		s.log.Debug("http request",
+			"req", id, "method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "duration", time.Since(start))
+	})
+}
+
+// itoa avoids fmt on the per-request path.
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

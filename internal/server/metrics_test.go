@@ -1,0 +1,108 @@
+package server
+
+import (
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"vdbscan/internal/obs/prom"
+)
+
+// TestMetricsExposition validates the full scrape with the in-tree strict
+// parser and checks the tentpole requirements: at least five histogram
+// families, each labeled {dataset, index, tiled}; float uptime; a start
+// time gauge; and per-run observations landing in the right series.
+func TestMetricsExposition(t *testing.T) {
+	s, c := newTestServer(t, Config{Threads: 2, RefreezePoints: 200})
+	c.doJSON("POST", "/v1/datasets?index=grid", pointsCSV(t, testPoints(t, 1500)), http.StatusCreated)
+	c.submitJob("d1", `{"variants":[{"eps":2,"minpts":8},{"eps":3,"minpts":4},{"eps":4,"minpts":4}],"tiles":2}`,
+		http.StatusAccepted)
+	c.waitDone("j1")
+	// Trip a background refreeze so the refreeze histogram has a sample.
+	c.doJSON("POST", "/v1/datasets/d1/points", pointsCSV(t, testPoints(t, 250)), http.StatusAccepted)
+	s.registry.flushRefreezes()
+
+	code, hdr, body := c.do("GET", "/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content-type = %q, want the 0.0.4 text format", ct)
+	}
+	exp, err := prom.Parse(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("exposition fails the in-tree lint: %v\n%s", err, body)
+	}
+	if n := exp.Histograms(); n < 5 {
+		t.Errorf("histogram families = %d, want >= 5", n)
+	}
+	for _, fam := range exp.Families {
+		if fam.Type != "histogram" || len(fam.Samples) == 0 {
+			continue
+		}
+		for _, l := range []string{"dataset", "index", "tiled"} {
+			if _, ok := fam.Samples[0].Labels[l]; !ok {
+				t.Errorf("histogram %s lacks label %q", fam.Name, l)
+			}
+		}
+	}
+
+	labels := map[string]string{"dataset": "d1", "index": "grid", "tiled": "tiled"}
+	for _, h := range []struct {
+		name string
+		want float64 // minimum expected _count
+	}{
+		{"vdbscand_job_queue_wait_seconds", 1},
+		{"vdbscand_batch_coalesce_window_seconds", 1},
+		{"vdbscand_batch_run_seconds", 1},
+		{"vdbscand_variant_run_seconds", 3},
+		// Every variant emits a Done event, but a near-total-reuse variant
+		// may do arbitrarily few searches, so only require one observation.
+		{"vdbscand_variant_eps_searches", 1},
+	} {
+		lb := map[string]string{}
+		for k, v := range labels {
+			lb[k] = v
+		}
+		got, ok := exp.Value(h.name+"_count", lb)
+		if !ok {
+			t.Errorf("no %s_count sample for %v", h.name, labels)
+			continue
+		}
+		if got < h.want {
+			t.Errorf("%s_count = %g, want >= %g", h.name, got, h.want)
+		}
+	}
+	if got, ok := exp.Value("vdbscand_dataset_refreeze_seconds_count",
+		map[string]string{"dataset": "d1", "index": "grid", "tiled": labelNA}); !ok || got < 1 {
+		t.Errorf("refreeze histogram count = %g (found=%v), want >= 1", got, ok)
+	}
+
+	// The uptime truncation fix: float seconds, nonzero well under 1s of
+	// runtime, plus an absolute start-time gauge for counter-reset math.
+	up, ok := exp.Value("vdbscand_uptime_seconds", nil)
+	if !ok || up <= 0 {
+		t.Errorf("uptime = %g (found=%v), want > 0", up, ok)
+	}
+	if up != math.Trunc(up) {
+		// Sub-second resolution observed directly; if the scrape landed on
+		// an exact second boundary the > 0 check above already covers the
+		// old always-0-at-startup failure.
+		t.Log("uptime has sub-second resolution:", up)
+	}
+	startTS, ok := exp.Value("vdbscand_start_time_seconds", nil)
+	if !ok {
+		t.Fatal("no vdbscand_start_time_seconds gauge")
+	}
+	now := float64(time.Now().UnixNano()) / 1e9
+	if d := now - startTS; d < 0 || d > 300 {
+		t.Errorf("start_time_seconds is %.1fs from now", d)
+	}
+
+	// SSE counters join the exposition once a stream has been served.
+	if v, ok := exp.Value("vdbscand_sse_frames_total", map[string]string{"event": "queued"}); !ok || v < 1 {
+		t.Errorf("sse queued frames = %g (found=%v), want >= 1", v, ok)
+	}
+}

@@ -45,6 +45,12 @@ type registry struct {
 	mu  sync.Mutex
 	m   map[string]*dataset
 	seq atomic.Int64
+
+	// onRefreeze, when set (by Server.New), observes each completed
+	// re-freeze: the dataset, the point count the new index covers, and the
+	// rebuild duration. Kept as a hook so the registry stays usable without
+	// a metrics plane.
+	onRefreeze func(d *dataset, points int, dur time.Duration)
 }
 
 func newRegistry(cfg Config) *registry {
@@ -150,6 +156,7 @@ func (g *registry) append(d *dataset, pts []vdbscan.Point, ctrs *counters) (stag
 // the rebuild starts. Points appended during the rebuild stay staged for
 // the next one.
 func (g *registry) refreeze(d *dataset, ctrs *counters) {
+	began := time.Now()
 	d.mu.Lock()
 	base, add := d.points, d.staged
 	d.mu.Unlock()
@@ -177,6 +184,9 @@ func (g *registry) refreeze(d *dataset, ctrs *counters) {
 	d.mu.Unlock()
 	if ctrs != nil {
 		ctrs.refreezes.Add(1)
+	}
+	if g.onRefreeze != nil {
+		g.onRefreeze(d, len(combined), time.Since(began))
 	}
 	close(ch)
 }

@@ -33,6 +33,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -92,6 +93,11 @@ type Config struct {
 	// wins (labels are identical at any tile count, so the choice only
 	// affects latency).
 	Tiles int
+	// Logger receives the server's structured logs (admission, batch
+	// seal/run, refreeze, drain at info; per-request access lines at
+	// debug), each carrying request/job/batch/dataset correlation IDs.
+	// Nil discards everything.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -157,6 +163,10 @@ type Server struct {
 	workMu sync.Mutex
 	work   vdbscan.Work // accumulated across all batch runs
 
+	mx     *serverMetrics // Prometheus exposition (see metrics.go)
+	log    *slog.Logger
+	reqSeq atomic.Int64 // request-ID correlation sequence
+
 	start time.Time
 }
 
@@ -173,6 +183,16 @@ func New(cfg Config) *Server {
 		// channel can always absorb every sealed batch without blocking.
 		runCh: make(chan *batch, cfg.QueueDepth+1),
 		start: time.Now(),
+	}
+	s.mx = newServerMetrics(s)
+	s.log = cfg.Logger
+	if s.log == nil {
+		s.log = discardLogger()
+	}
+	s.registry.onRefreeze = func(d *dataset, points int, dur time.Duration) {
+		s.mx.refreezeDur.With(d.id, d.kind.String(), labelNA).Observe(dur.Seconds())
+		s.log.Info("dataset refrozen",
+			"dataset", d.id, "points", points, "duration", dur)
 	}
 	for i := 0; i < cfg.Runners; i++ {
 		go s.runner()
@@ -202,6 +222,11 @@ func (s *Server) admit(j *job) error {
 	}
 	s.queued++
 	s.ctrs.jobsAccepted.Add(1)
+	// The queued frame goes out before batch assignment so subscribers see
+	// queued -> batched in order even when the batch seals synchronously.
+	j.events.publish(evQueued, queuedFrame{
+		Job: j.id, Dataset: j.datasetID, Variants: len(j.params), Queued: s.queued,
+	}, true, false)
 
 	b := s.open[j.datasetID]
 	if b == nil {
@@ -211,13 +236,17 @@ func (s *Server) admit(j *job) error {
 			b.timer = time.AfterFunc(s.cfg.BatchWindow, func() { s.seal(b) })
 		}
 	}
-	switch n := b.add(j); {
+	n, union := b.add(j)
+	switch {
 	case n == 2:
 		// The batch just became shared: both members now count as coalesced.
 		s.ctrs.jobsCoalesced.Add(2)
 	case n > 2:
 		s.ctrs.jobsCoalesced.Add(1)
 	}
+	j.events.publish(evBatched, batchedFrame{
+		Job: j.id, Batch: b.id, BatchJobs: n, BatchVariants: union,
+	}, true, false)
 	if s.cfg.BatchWindow <= 0 {
 		// Coalescing disabled: the batch seals with its single job.
 		s.sealLocked(b)
@@ -243,6 +272,12 @@ func (s *Server) sealLocked(b *batch) {
 	if s.open[b.datasetID] == b {
 		delete(s.open, b.datasetID)
 	}
+	b.mu.Lock()
+	jobs, variants := len(b.jobs), len(b.union)
+	b.mu.Unlock()
+	s.log.Info("batch sealed",
+		"batch", b.id, "dataset", b.datasetID, "jobs", jobs, "variants", variants,
+		"window", time.Since(b.created))
 	s.batchWG.Add(1)
 	s.runCh <- b
 }
@@ -298,6 +333,7 @@ func (s *Server) nextBatchID() string {
 // if the deadline expires first (work keeps finishing in the background).
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
+	s.log.Info("drain started", "queued", s.queueDepth())
 	s.sealAll()
 	done := make(chan struct{})
 	go func() {
@@ -307,8 +343,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.log.Info("drain complete")
 		return nil
 	case <-ctx.Done():
+		s.log.Warn("drain deadline expired; work finishes in background", "err", ctx.Err())
 		return ctx.Err()
 	}
 }
@@ -339,7 +377,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/labels", s.handleJobLabels)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	return s.withRequestID(mux)
 }

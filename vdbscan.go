@@ -442,8 +442,9 @@ func (x *Index) Cluster(p Params, opts ...RunOption) (*Clustering, error) {
 	rec.Done(0, -1, 0, m.Snapshot())
 	c.tracer.EndRun(time.Since(start))
 	if c.progress != nil {
+		el := time.Since(start)
 		c.progress(ProgressEvent{Done: 1, Total: 1, Variant: 0, Source: -1,
-			Elapsed: time.Since(start)})
+			FromScratch: true, Duration: el, Elapsed: el})
 	}
 	if c.work != nil {
 		*c.work = c.work.Add(m.Snapshot())
