@@ -34,6 +34,12 @@
 // request/job/batch/dataset IDs involved, so one job's admission, batch
 // seal, run, and completion grep together.
 //
+// With -data-dir set, datasets are durable: each upload and re-freeze
+// writes a page-aligned snapshot of the frozen index, appended points go
+// to a per-dataset write-ahead log, and a relaunch pointed at the same
+// directory restores every dataset via mmap — no re-parse, no re-index —
+// before the listener accepts its first request.
+//
 // On SIGTERM/SIGINT the daemon drains: admission stops (new work gets 503),
 // running and queued batches finish, staged dataset appends are folded into
 // their indexes, and only then does the process exit.
@@ -76,6 +82,7 @@ type envDefaults struct {
 	tiles        int
 	r            int
 	index        string
+	dataDir      string
 	batchWindow  time.Duration
 	jobTimeout   time.Duration
 	drainTimeout time.Duration
@@ -108,6 +115,7 @@ func loadEnv() (envDefaults, error) {
 		return d, err
 	}
 	d.index = cliutil.EnvOr("VDBSCAND_INDEX", "rtree")
+	d.dataDir = cliutil.EnvOr("VDBSCAND_DATA_DIR", "")
 	if d.batchWindow, err = cliutil.EnvDurationOr("VDBSCAND_BATCH_WINDOW", 0); err != nil {
 		return d, err
 	}
@@ -138,6 +146,8 @@ func run() error {
 		"tile-level parallelism per run on grid indexes (0 = auto, 1 = untiled; per-job tiles overrides)")
 	leafR := flag.Int("r", env.r, "eps-search tree leaf occupancy for uploads (0 = library default)")
 	indexKind := flag.String("index", env.index, "eps-search index structure for uploads: rtree or grid")
+	dataDir := flag.String("data-dir", env.dataDir,
+		"directory for durable dataset snapshots and WALs; restored on startup (empty = memory-only)")
 	batchWindow := flag.Duration("batch-window", env.batchWindow,
 		"coalesce same-dataset jobs arriving within this window (0 disables)")
 	jobTimeout := flag.Duration("job-timeout", env.jobTimeout, "default per-job deadline")
@@ -163,6 +173,7 @@ func run() error {
 		Tiles:          *tiles,
 		IndexKind:      kindVal,
 		Logger:         logger,
+		DataDir:        *dataDir,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

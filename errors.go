@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"vdbscan/internal/dbscan"
+	"vdbscan/internal/persist"
 	"vdbscan/internal/rtree"
 )
 
@@ -29,6 +30,18 @@ var ErrFlatTooLarge = rtree.ErrFlatTooLarge
 // errors.Is. Deletion is supported by the streaming path: use
 // NewIncremental and Incremental.Delete.
 var ErrDeleteUnsupported = dbscan.ErrDeleteUnsupported
+
+// ErrSnapshotCorrupt reports a snapshot or WAL file that failed integrity
+// or structural validation on load: truncation, a checksum mismatch, bad
+// magic, or any internal inconsistency that would make the mapped index
+// unsafe to traverse. Match it with errors.Is. The correct response is to
+// discard the file and rebuild the index from source data.
+var ErrSnapshotCorrupt = persist.ErrSnapshotCorrupt
+
+// ErrSnapshotVersion reports a well-formed snapshot this build cannot
+// read: a future format version, or a file written on a platform with the
+// opposite byte order. Match it with errors.Is.
+var ErrSnapshotVersion = persist.ErrSnapshotVersion
 
 // wrapErr brings an internal error onto the facade's contract: nil stays
 // nil, and everything else gains the "vdbscan: " prefix exactly once while

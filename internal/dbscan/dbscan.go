@@ -181,6 +181,7 @@ func BuildIndex(pts []geom.Point, opt IndexOptions) *Index {
 // Re-freezing after Insert folds the staged overlay into the fresh views
 // and resets it.
 func (ix *Index) Freeze() {
+	ix.materialize() // mapped indexes have no pointer trees until needed
 	if ix.X == nil || len(ix.X) < len(ix.Pts) {
 		ix.X = make([]float64, len(ix.Pts))
 		ix.Y = make([]float64, len(ix.Pts))
@@ -301,6 +302,7 @@ var ErrDeleteUnsupported = errors.New(
 // points are not grid-sorted, so heavy insertion without re-freezing
 // degrades search locality (never correctness).
 func (ix *Index) Insert(p geom.Point) int {
+	ix.materialize() // mapped indexes grow pointer trees on first mutation
 	idx := len(ix.Pts)
 	ix.Pts = append(ix.Pts, p)
 	ix.Fwd = append(ix.Fwd, idx)
@@ -332,6 +334,11 @@ func (ix *Index) flatLowCurrent() (fresh, overlaid bool) {
 	if f == nil {
 		return false, false
 	}
+	if ix.TLow == nil {
+		// Mapped mode (IndexFromFrozen): there is no pointer tree to drift
+		// from — the flat view is the authoritative index.
+		return true, false
+	}
 	gap := ix.TLow.Generation() - f.Generation()
 	if gap == 0 {
 		return true, false
@@ -342,8 +349,11 @@ func (ix *Index) flatLowCurrent() (fresh, overlaid bool) {
 // flatHighCurrent is flatLowCurrent for T_high.
 func (ix *Index) flatHighCurrent() (fresh, overlaid bool) {
 	f := ix.FlatHigh
-	if f == nil || ix.THigh == nil {
+	if f == nil {
 		return false, false
+	}
+	if ix.THigh == nil {
+		return true, false // mapped mode, as in flatLowCurrent
 	}
 	gap := ix.THigh.Generation() - f.Generation()
 	if gap == 0 {
@@ -356,7 +366,12 @@ func (ix *Index) flatHighCurrent() (fresh, overlaid bool) {
 func (ix *Index) Len() int { return len(ix.Pts) }
 
 // R returns the leaf occupancy of T_low.
-func (ix *Index) R() int { return ix.TLow.R() }
+func (ix *Index) R() int {
+	if ix.TLow == nil {
+		return ix.FlatLow.R()
+	}
+	return ix.TLow.R()
+}
 
 // NeighborSearch is Algorithm 2: it builds the ε-augmented query MBB around
 // p, collects candidate points from T_low's overlapping leaf MBBs, and

@@ -1,0 +1,151 @@
+package dbscan
+
+import (
+	"fmt"
+
+	"vdbscan/internal/geom"
+	"vdbscan/internal/gridindex"
+	"vdbscan/internal/rtree"
+)
+
+// FrozenParts is the complete frozen state of an Index, decomposed into
+// the arrays and scalars the persistence layer serializes: the sorted
+// point storage, the sorted→original permutation, and the flat parts of
+// every frozen view. High and Grid are optional (SkipHigh builds, and
+// grid-kind indexes whose grid was never built). All slices alias the
+// index (or, on the way back in, the caller's file-backed memory) — the
+// decomposition copies nothing.
+type FrozenParts struct {
+	Pts  []geom.Point
+	X, Y []float64
+	Fwd  []int
+	R    int
+	Kind IndexKind
+	Low  rtree.FlatParts
+	High *rtree.FlatParts
+	Grid *gridindex.FlatParts
+}
+
+// FrozenParts exports the index's frozen state for serialization. It
+// requires the frozen views to be current: an index built with NoFlat, or
+// one carrying staged post-Freeze insertions, returns an error (call
+// Freeze first — the snapshot format has no overlay section on purpose;
+// staged points are the WAL's job).
+func (ix *Index) FrozenParts() (FrozenParts, error) {
+	if ix.FlatLow == nil {
+		return FrozenParts{}, fmt.Errorf("dbscan: index has no frozen views (built with NoFlat?)")
+	}
+	if fresh, _ := ix.flatLowCurrent(); !fresh {
+		return FrozenParts{}, fmt.Errorf("dbscan: frozen views are stale (staged insertions? call Freeze first)")
+	}
+	if ix.X == nil || len(ix.X) < len(ix.Pts) {
+		return FrozenParts{}, fmt.Errorf("dbscan: index has no SoA coordinate slices")
+	}
+	p := FrozenParts{
+		Pts:  ix.Pts,
+		X:    ix.X[:len(ix.Pts)],
+		Y:    ix.Y[:len(ix.Pts)],
+		Fwd:  ix.Fwd,
+		R:    ix.R(),
+		Kind: ix.Kind,
+		Low:  ix.FlatLow.Parts(),
+	}
+	if ix.FlatHigh != nil {
+		hp := ix.FlatHigh.Parts()
+		p.High = &hp
+	}
+	if g := ix.grid.Load(); g != nil {
+		gp := g.Parts()
+		p.Grid = &gp
+	}
+	return p, nil
+}
+
+// IndexFromFrozen reconstructs a servable Index around previously exported
+// frozen parts, aliasing every input slice — this is the mmap load path,
+// so a reconstructed index answers ε-searches straight out of file-backed
+// memory with zero deserialization.
+//
+// The index comes back in mapped mode: flat views only, no pointer trees.
+// Searches (NeighborSearch, HighCandidates, the grid path) work
+// immediately; the build/mutate pointer trees are materialized lazily on
+// the first Insert or Freeze. Because the parts may come from an untrusted
+// file, everything is validated before use — array length agreement, the
+// Fwd permutation, SoA/AoS coordinate consistency, and (via the parts
+// constructors) full structural validation of each view. Mutating the
+// aliased arrays through Insert is safe even when they are mapped
+// read-only: every slice arrives at full capacity, so appends reallocate
+// to the heap.
+func IndexFromFrozen(p FrozenParts) (*Index, error) {
+	bad := func(format string, args ...any) (*Index, error) {
+		return nil, fmt.Errorf("dbscan: invalid frozen parts: "+format, args...)
+	}
+	n := len(p.Pts)
+	if len(p.X) != n || len(p.Y) != n || len(p.Fwd) != n {
+		return bad("array lengths disagree: %d points, %d/%d coords, %d fwd", n, len(p.X), len(p.Y), len(p.Fwd))
+	}
+	seen := make([]bool, n)
+	for i, f := range p.Fwd {
+		if f < 0 || f >= n || seen[f] {
+			return bad("fwd is not a permutation at %d", i)
+		}
+		seen[f] = true
+	}
+	for i := range p.Pts {
+		if !sameFloat(p.Pts[i].X, p.X[i]) || !sameFloat(p.Pts[i].Y, p.Y[i]) {
+			return bad("SoA coords disagree with points at %d", i)
+		}
+	}
+	low, err := rtree.FlatFromParts(p.Low, p.X, p.Y, p.Pts)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		Pts:     p.Pts,
+		X:       p.X,
+		Y:       p.Y,
+		Fwd:     p.Fwd,
+		Kind:    p.Kind,
+		FlatLow: low,
+	}
+	if p.High != nil {
+		high, err := rtree.FlatFromParts(*p.High, p.X, p.Y, p.Pts)
+		if err != nil {
+			return nil, err
+		}
+		ix.FlatHigh = high
+	}
+	if p.Grid != nil {
+		g, err := gridindex.FlatFromParts(*p.Grid)
+		if err != nil {
+			return nil, err
+		}
+		if g.Len() > n {
+			return bad("grid covers %d points, index has %d", g.Len(), n)
+		}
+		ix.grid.Store(g)
+	}
+	return ix, nil
+}
+
+// sameFloat is bitwise-tolerant float equality: equal values, or both NaN.
+// Plain == would reject NaN coordinates that round-trip perfectly.
+func sameFloat(a, b float64) bool { return a == b || (a != a && b != b) }
+
+// materialize builds the pointer build/mutate trees for a mapped index
+// (IndexFromFrozen), which starts with flat views only. BulkLoad is
+// deterministic and leaves the tree generation at 0 — the same value the
+// frozen views carry — so after materialization the views still read as
+// fresh and keep serving searches; the new trees exist purely to absorb
+// subsequent Inserts through the usual overlay accounting.
+func (ix *Index) materialize() {
+	if ix.TLow != nil {
+		return
+	}
+	st := ix.FlatLow.Stats()
+	ix.TLow = rtree.BulkLoad(ix.Pts, rtree.Options{R: st.R, Fanout: st.Fanout})
+	if ix.FlatHigh != nil && ix.THigh == nil {
+		hst := ix.FlatHigh.Stats()
+		ix.THigh = rtree.BulkLoad(ix.Pts, rtree.Options{R: 1, Fanout: hst.Fanout})
+	}
+}

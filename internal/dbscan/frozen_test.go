@@ -1,0 +1,167 @@
+package dbscan_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"vdbscan/internal/dbscan"
+	"vdbscan/internal/geom"
+	"vdbscan/internal/metrics"
+)
+
+func frozenPoints(n int, seed int64) []geom.Point {
+	rnd := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rnd.Float64() * 60, Y: rnd.Float64() * 60}
+	}
+	return pts
+}
+
+// TestIndexFrozenRoundTrip decomposes an index with FrozenParts, rebuilds
+// it with IndexFromFrozen, and requires byte-identical DBSCAN labels from
+// the mapped-mode index — for both index kinds, with and without a built
+// grid.
+func TestIndexFrozenRoundTrip(t *testing.T) {
+	pts := frozenPoints(4000, 17)
+	params := dbscan.Params{Eps: 1.5, MinPts: 4}
+	for _, kind := range []dbscan.IndexKind{dbscan.IndexRTree, dbscan.IndexGrid} {
+		ix := dbscan.BuildIndex(pts, dbscan.IndexOptions{Kind: kind})
+		if kind == dbscan.IndexGrid {
+			if err := ix.EnsureGrid(params.Eps); err != nil {
+				t.Fatalf("EnsureGrid: %v", err)
+			}
+		}
+		want, err := dbscan.Run(ix, params, &metrics.Counters{})
+		if err != nil {
+			t.Fatalf("kind=%v: run: %v", kind, err)
+		}
+
+		parts, err := ix.FrozenParts()
+		if err != nil {
+			t.Fatalf("kind=%v: FrozenParts: %v", kind, err)
+		}
+		if kind == dbscan.IndexGrid && parts.Grid == nil {
+			t.Fatalf("grid-kind parts carry no grid")
+		}
+		loaded, err := dbscan.IndexFromFrozen(parts)
+		if err != nil {
+			t.Fatalf("kind=%v: IndexFromFrozen: %v", kind, err)
+		}
+		if loaded.TLow != nil || loaded.THigh != nil {
+			t.Fatalf("mapped index should have no pointer trees before mutation")
+		}
+		got, err := dbscan.Run(loaded, params, &metrics.Counters{})
+		if err != nil {
+			t.Fatalf("kind=%v: mapped run: %v", kind, err)
+		}
+		if len(got.Labels) != len(want.Labels) || got.NumClusters != want.NumClusters {
+			t.Fatalf("kind=%v: shape diverged", kind)
+		}
+		for i := range want.Labels {
+			if want.Labels[i] != got.Labels[i] {
+				t.Fatalf("kind=%v: label %d: %d vs %d", kind, i, want.Labels[i], got.Labels[i])
+			}
+		}
+	}
+}
+
+// TestMappedIndexInsert mutates a mapped index: Insert must lazily
+// materialize the pointer trees, stage through the overlay, and keep
+// search results identical to a from-scratch index over the same points.
+func TestMappedIndexInsert(t *testing.T) {
+	pts := frozenPoints(1500, 23)
+	ix := dbscan.BuildIndex(pts, dbscan.IndexOptions{})
+	parts, err := ix.FrozenParts()
+	if err != nil {
+		t.Fatalf("FrozenParts: %v", err)
+	}
+	loaded, err := dbscan.IndexFromFrozen(parts)
+	if err != nil {
+		t.Fatalf("IndexFromFrozen: %v", err)
+	}
+
+	extra := frozenPoints(200, 29)
+	for _, p := range extra {
+		loaded.Insert(p)
+	}
+	if loaded.TLow == nil {
+		t.Fatalf("Insert did not materialize the pointer trees")
+	}
+
+	// Reference: the original index with the same insertions.
+	for _, p := range extra {
+		ix.Insert(p)
+	}
+	params := dbscan.Params{Eps: 1.5, MinPts: 4}
+	want, err := dbscan.Run(ix, params, &metrics.Counters{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got, err := dbscan.Run(loaded, params, &metrics.Counters{})
+	if err != nil {
+		t.Fatalf("mapped run: %v", err)
+	}
+	for i := range want.Labels {
+		if want.Labels[i] != got.Labels[i] {
+			t.Fatalf("label %d: %d vs %d", i, want.Labels[i], got.Labels[i])
+		}
+	}
+
+	// Freeze folds the staged overlay on both sides; results must hold.
+	loaded.Freeze()
+	ix.Freeze()
+	got2, err := dbscan.Run(loaded, params, &metrics.Counters{})
+	if err != nil {
+		t.Fatalf("post-freeze run: %v", err)
+	}
+	for i := range want.Labels {
+		if want.Labels[i] != got2.Labels[i] {
+			t.Fatalf("post-freeze label %d: %d vs %d", i, want.Labels[i], got2.Labels[i])
+		}
+	}
+}
+
+// TestFrozenPartsRefusesStaged pins the contract that staged insertions
+// never silently vanish into a snapshot.
+func TestFrozenPartsRefusesStaged(t *testing.T) {
+	ix := dbscan.BuildIndex(frozenPoints(500, 31), dbscan.IndexOptions{})
+	ix.Insert(geom.Point{X: 1, Y: 1})
+	if _, err := ix.FrozenParts(); err == nil {
+		t.Fatalf("FrozenParts accepted staged insertions")
+	}
+	ix.Freeze()
+	if _, err := ix.FrozenParts(); err != nil {
+		t.Fatalf("FrozenParts after Freeze: %v", err)
+	}
+}
+
+// TestIndexFromFrozenRejects feeds inconsistent frozen parts and requires
+// typed rejection.
+func TestIndexFromFrozenRejects(t *testing.T) {
+	ix := dbscan.BuildIndex(frozenPoints(300, 37), dbscan.IndexOptions{})
+	good, err := ix.FrozenParts()
+	if err != nil {
+		t.Fatalf("FrozenParts: %v", err)
+	}
+
+	badFwd := good
+	badFwd.Fwd = append([]int(nil), good.Fwd...)
+	badFwd.Fwd[0] = badFwd.Fwd[1] // duplicate — not a permutation
+	if _, err := dbscan.IndexFromFrozen(badFwd); err == nil {
+		t.Fatalf("non-permutation fwd accepted")
+	}
+
+	badCoord := good
+	badCoord.X = append([]float64(nil), good.X...)
+	badCoord.X[5]++ // SoA no longer matches Pts
+	if _, err := dbscan.IndexFromFrozen(badCoord); err == nil {
+		t.Fatalf("diverging SoA coords accepted")
+	}
+
+	badLen := good
+	badLen.Fwd = good.Fwd[:len(good.Fwd)-1]
+	if _, err := dbscan.IndexFromFrozen(badLen); err == nil {
+		t.Fatalf("length mismatch accepted")
+	}
+}

@@ -53,26 +53,46 @@ var ErrGridTooLarge = errors.New("gridindex: point set too large or bounds non-f
 
 // gridShape picks the cell geometry for a bounding box: the number of
 // columns and rows at the requested side, coarsening the side until the
-// total cell count fits MaxCells. Degenerate geometry (NaN/Inf spans)
-// returns ErrGridTooLarge.
+// total cell count fits MaxCells. Degenerate geometry (NaN spans, or spans
+// whose difference overflows to ±Inf) returns ErrGridTooLarge.
+//
+// The coarsening loop provably terminates: each step multiplies side by a
+// factor > 1.001, so the iteration cap is never the binding constraint for
+// well-formed inputs, and any stall (a denormal side whose product rounds
+// to itself) or float overflow drops to the one-shot fallback of
+// side = max(spanX, spanY), which yields at most 2×2 cells.
 func gridShape(b geom.MBB, side float64) (cols, rows int, outSide float64, err error) {
 	if !(side > 0) || math.IsInf(side, 0) {
 		return 0, 0, 0, fmt.Errorf("gridindex: cell side must be positive and finite, got %g", side)
 	}
 	spanX, spanY := b.MaxX-b.MinX, b.MaxY-b.MinY
-	for {
+	if !(spanX >= 0) || !(spanY >= 0) || math.IsInf(spanX, 0) || math.IsInf(spanY, 0) {
+		return 0, 0, 0, ErrGridTooLarge
+	}
+	for iter := 0; iter < 64; iter++ {
 		fcols := math.Floor(spanX/side) + 1
 		frows := math.Floor(spanY/side) + 1
-		if !(fcols >= 1) || !(frows >= 1) { // NaN span or NaN side
-			return 0, 0, 0, ErrGridTooLarge
-		}
-		if fcols*frows <= MaxCells {
+		if fcols*frows <= MaxCells { // also false for ±Inf products
 			return int(fcols), int(frows), side, nil
 		}
 		// Coarsen just past the cap; the 1.001 margin absorbs float
 		// rounding so the loop converges in one or two iterations.
-		side *= math.Sqrt(fcols * frows / float64(MaxCells)) * 1.001
+		next := side * math.Sqrt(fcols*frows/float64(MaxCells)) * 1.001
+		if !(next > side) || math.IsInf(next, 0) {
+			break // stalled or overflowed — take the fallback
+		}
+		side = next
 	}
+	// Fallback for spans the multiplicative walk cannot reach (a denormal
+	// side under a huge extent drives fcols·frows to +Inf): one cell per
+	// axis span always fits.
+	side = math.Max(side, math.Max(spanX, spanY))
+	fcols := math.Floor(spanX/side) + 1
+	frows := math.Floor(spanY/side) + 1
+	if !(fcols >= 1) || !(frows >= 1) || fcols*frows > MaxCells {
+		return 0, 0, 0, ErrGridTooLarge
+	}
+	return int(fcols), int(frows), side, nil
 }
 
 // Index is a uniform grid over a point set, cell side ≥ the requested ε

@@ -1,0 +1,24 @@
+//go:build !unix
+
+package persist
+
+import (
+	"fmt"
+	"os"
+)
+
+// mapFile on platforms without the unix mmap surface reads the file to
+// heap. Loads still avoid deserialization (the same slice casts apply);
+// they just pay one streaming read up front.
+func mapFile(path string) ([]byte, bool, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(b) == 0 {
+		return nil, false, fmt.Errorf("%w: empty file", ErrSnapshotCorrupt)
+	}
+	return b, false, nil
+}
+
+func unmapFile([]byte) {}

@@ -1,0 +1,51 @@
+//go:build unix
+
+package persist
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mapFile maps the file at path read-only and returns the image plus
+// whether it is a real mapping (true) or a heap fallback. A private
+// read-only mapping keeps load O(1) in the file size — pages fault in on
+// first touch — and makes warm restarts nearly instant; if the mmap
+// syscall fails (some filesystems refuse it) the file is read to heap
+// instead, which is slower but identical in behavior.
+func mapFile(path string) ([]byte, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, false, fmt.Errorf("%w: empty file", ErrSnapshotCorrupt)
+	}
+	if size > int64(math.MaxInt) {
+		return nil, false, fmt.Errorf("%w: %d bytes exceeds the address space", ErrSnapshotCorrupt, size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		heap, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, false, rerr
+		}
+		return heap, false, nil
+	}
+	return b, true, nil
+}
+
+// unmapFile releases a mapping returned by mapFile. Only called on load
+// failure — a successfully loaded snapshot's arrays alias the mapping,
+// which then lives for the life of the process.
+func unmapFile(b []byte) {
+	syscall.Munmap(b) //nolint:errcheck // release path; nothing to do
+}

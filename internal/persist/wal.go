@@ -1,0 +1,129 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"vdbscan/internal/geom"
+)
+
+// maxWALRecordPoints bounds one record's point count, so a corrupt length
+// prefix cannot drive replay into a multi-gigabyte allocation. Appends
+// above the bound are split by the caller or rejected; in practice the
+// registry appends per-request batches far below it.
+const maxWALRecordPoints = 1 << 22
+
+// WAL is an append-only log of point batches staged after the last
+// snapshot. Each Append writes one self-checking record —
+//
+//	count uint32 | count × geom.Point | crc32c(count+points) uint32
+//
+// in native endianness — and fsyncs, so an acknowledged append survives a
+// crash. A record half-written at crash time fails its CRC (or its length
+// prefix) and is dropped by Replay as ErrWALPartial along with everything
+// after it; records are only ever appended, so the valid prefix is
+// exactly the acknowledged history.
+type WAL struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenWAL opens (creating if absent) the WAL at path for appending.
+func OpenWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: wal: %w", err)
+	}
+	return &WAL{f: f}, nil
+}
+
+// Append logs one batch of points durably (the call returns after fsync).
+// Safe for concurrent callers.
+func (w *WAL) Append(pts []geom.Point) error {
+	if len(pts) == 0 {
+		return nil
+	}
+	if len(pts) > maxWALRecordPoints {
+		// Split oversized batches into bounded records; each is
+		// independently durable, and replay concatenates them back.
+		for start := 0; start < len(pts); start += maxWALRecordPoints {
+			end := start + maxWALRecordPoints
+			if end > len(pts) {
+				end = len(pts)
+			}
+			if err := w.Append(pts[start:end]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	rec := make([]byte, 4+len(pts)*16+4)
+	binary.NativeEndian.PutUint32(rec, uint32(len(pts)))
+	copy(rec[4:], ptBytes(pts))
+	sum := crc32.Checksum(rec[:4+len(pts)*16], castagnoli)
+	binary.NativeEndian.PutUint32(rec[4+len(pts)*16:], sum)
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(rec); err != nil {
+		return fmt.Errorf("persist: wal append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("persist: wal append: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// ReplayWAL reads every valid record at path and returns the concatenated
+// points in append order. A missing file is an empty history (nil, nil).
+// A truncated or corrupt tail — the normal state after a crash
+// mid-append — returns the valid prefix together with ErrWALPartial
+// (which wraps ErrSnapshotCorrupt); the caller keeps the prefix and
+// truncates or deletes the file. Never panics on hostile input.
+func ReplayWAL(path string) ([]geom.Point, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("persist: wal replay: %w", err)
+	}
+	defer f.Close()
+
+	var out []geom.Point
+	r := bufio.NewReaderSize(f, 1<<20)
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return out, nil // clean end
+			}
+			return out, fmt.Errorf("%w: record header: %v", ErrWALPartial, err)
+		}
+		count := binary.NativeEndian.Uint32(hdr[:])
+		if count == 0 || count > maxWALRecordPoints {
+			return out, fmt.Errorf("%w: record claims %d points", ErrWALPartial, count)
+		}
+		body := make([]byte, int(count)*16+4)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return out, fmt.Errorf("%w: record body: %v", ErrWALPartial, err)
+		}
+		sum := crc32.Update(crc32.Checksum(hdr[:], castagnoli), castagnoli, body[:len(body)-4])
+		if stored := binary.NativeEndian.Uint32(body[len(body)-4:]); stored != sum {
+			return out, fmt.Errorf("%w: record checksum mismatch", ErrWALPartial)
+		}
+		out = append(out, bytesPts(body[:len(body)-4])...)
+	}
+}

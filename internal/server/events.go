@@ -43,18 +43,23 @@ type eventFrame struct {
 // loses its oldest frame (counted in vdbscand_sse_dropped_frames_total),
 // so a stalled client can never stall a batch run.
 //
-// The stream also keeps a snapshot — the latest lifecycle frame and the
-// latest progress frame — replayed to every new subscriber, so a mid-job
-// join immediately learns the job's current state instead of waiting for
-// the next live frame.
+// The stream also keeps a snapshot — the latest lifecycle frame, the
+// latest progress frame, and the terminal frame — replayed to every new
+// subscriber, so a mid-job join immediately learns the job's current state
+// instead of waiting for the next live frame, and a join after the job
+// finished still sees where the job got to (lifecycle + progress) before
+// the terminal frame and end-of-stream. The terminal frame is kept in its
+// own slot: letting it overwrite lastState would strip a late subscriber
+// of the last real lifecycle state (running, with its batch binding).
 type stream struct {
 	mx *serverMetrics // nil until the server wires it (and in unit tests)
 
 	mu        sync.Mutex
 	subs      map[*subscriber]struct{}
 	seq       int64
-	lastState *eventFrame // latest queued/batched/running/terminal frame
+	lastState *eventFrame // latest queued/batched/running frame
 	lastProg  *eventFrame // latest progress frame
+	lastTerm  *eventFrame // the done/failed/canceled frame, once published
 	closed    bool        // terminal frame published; stream is over
 }
 
@@ -82,16 +87,19 @@ func (st *stream) subscribe() *subscriber {
 	if st.mx != nil {
 		st.mx.sseSubs.Add(1)
 	}
-	replay := make([]eventFrame, 0, 2)
+	replay := make([]eventFrame, 0, 3)
 	if st.lastState != nil {
 		replay = append(replay, *st.lastState)
 	}
 	if st.lastProg != nil {
 		replay = append(replay, *st.lastProg)
 	}
+	if st.lastTerm != nil {
+		replay = append(replay, *st.lastTerm)
+	}
 	sort.Slice(replay, func(i, j int) bool { return replay[i].seq < replay[j].seq })
 	for _, f := range replay {
-		sub.ch <- f // buffer is empty and cap >= 2: never blocks
+		sub.ch <- f // buffer is empty and cap >= 3: never blocks
 	}
 	if st.closed {
 		sub.chClosed = true
@@ -140,6 +148,8 @@ func (st *stream) publish(event string, payload any, snapshot, terminal bool) {
 	st.seq++
 	f := eventFrame{seq: st.seq, event: event, data: data}
 	switch {
+	case terminal:
+		st.lastTerm = &f
 	case event == evProgress:
 		st.lastProg = &f
 	case snapshot:
@@ -267,8 +277,10 @@ const sseHeartbeat = 15 * time.Second
 // queued -> batched -> running -> per-variant progress (and tile_run /
 // tile_merge phase frames on tiled runs) -> done|failed|canceled, then
 // EOF. A subscriber joining mid-job first receives a snapshot (current
-// state + latest progress). Frames carry an id: with the per-job sequence
-// number, so gaps reveal drop-oldest backpressure.
+// state + latest progress); one joining after the job finished receives
+// that snapshot plus the terminal frame and an immediate end-of-stream.
+// Frames carry an id: with the per-job sequence number, so gaps reveal
+// drop-oldest backpressure.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {

@@ -116,14 +116,56 @@ func TestStreamTerminal(t *testing.T) {
 	// Publishing after the end is a no-op, not a panic.
 	st.publish(evProgress, progressFrame{}, false, false)
 
+	// A late join replays the last lifecycle state and then the terminal
+	// frame — the terminal lives in its own snapshot slot, it does not
+	// erase where the job got to.
 	late := st.subscribe()
+	if f, _ := drainOne(t, late); f.event != evQueued {
+		t.Fatalf("late join frame 1 = %s, want queued", f.event)
+	}
 	if f, _ := drainOne(t, late); f.event != stateCanceled {
-		t.Fatalf("late join frame = %s, want canceled", f.event)
+		t.Fatalf("late join frame 2 = %s, want canceled", f.event)
 	}
 	if _, ok := drainOne(t, late); ok {
 		t.Fatal("late join channel not closed")
 	}
 	st.unsubscribe(late)
+}
+
+// TestStreamLateSubscribeAfterTerminal pins the full post-completion
+// replay: a subscriber joining after the terminal frame receives the
+// latest lifecycle frame, the latest progress frame, and the terminal
+// frame — in original sequence order — then an immediate end-of-stream.
+// (Before the lastTerm slot existed, the terminal frame overwrote the
+// lifecycle snapshot and late joiners lost the running state.)
+func TestStreamLateSubscribeAfterTerminal(t *testing.T) {
+	st := newStream()
+	st.publish(evQueued, queuedFrame{Job: "j1"}, true, false)
+	st.publish(evBatched, batchedFrame{Job: "j1", Batch: "b1"}, true, false)
+	st.publish(evRunning, runningFrame{Job: "j1", Batch: "b1"}, true, false)
+	st.publish(evProgress, progressFrame{Job: "j1", Done: 1, Total: 2}, false, false)
+	st.publish(evProgress, progressFrame{Job: "j1", Done: 2, Total: 2}, false, false)
+	st.publish(stateDone, terminalFrame{Job: "j1", State: stateDone}, true, true)
+
+	sub := st.subscribe()
+	want := []struct {
+		event string
+		seq   int64
+	}{{evRunning, 3}, {evProgress, 5}, {stateDone, 6}}
+	for i, w := range want {
+		f, ok := drainOne(t, sub)
+		if !ok {
+			t.Fatalf("stream closed before frame %d (%s)", i+1, w.event)
+		}
+		if f.event != w.event || f.seq != w.seq {
+			t.Fatalf("replay frame %d = %s seq %d, want %s seq %d",
+				i+1, f.event, f.seq, w.event, w.seq)
+		}
+	}
+	if _, ok := drainOne(t, sub); ok {
+		t.Fatal("late subscriber's channel not closed after terminal replay")
+	}
+	st.unsubscribe(sub)
 }
 
 // TestStreamConcurrentSubscribers: 8 subscribers join, drain, and leave
@@ -239,16 +281,17 @@ func TestJobEventsSSE(t *testing.T) {
 		t.Errorf("no progress frames; got %+v", frames)
 	}
 
-	// A join after completion still sees the snapshot: latest progress,
-	// then the terminal frame, then EOF.
+	// A join after completion still sees the snapshot: the running state,
+	// the latest progress, then the terminal frame, then EOF.
 	resp2, err := http.Get(c.base + "/v1/jobs/j1/events")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp2.Body.Close()
 	replay := readSSE(t, bufio.NewReader(resp2.Body))
-	if len(replay) != 2 || replay[0].event != evProgress || replay[1].event != stateDone {
-		t.Fatalf("post-completion replay = %+v, want [progress done]", replay)
+	if len(replay) != 3 || replay[0].event != evRunning ||
+		replay[1].event != evProgress || replay[2].event != stateDone {
+		t.Fatalf("post-completion replay = %+v, want [running progress done]", replay)
 	}
 
 	if _, _, body := c.do("GET", "/v1/jobs/nope/events", nil); !strings.Contains(string(body), "no job") {

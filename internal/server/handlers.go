@@ -141,14 +141,25 @@ func (s *Server) jobDoc(j *job) jobDoc {
 	return doc
 }
 
-// retryAfterSeconds is the 429 backpressure hint: roughly one batching
-// window (the soonest the backlog can shrink), never less than a second.
+// retryAfterSeconds is the backpressure hint on 429 and 503 responses:
+// roughly one batching window (the soonest the backlog can shrink),
+// rounded up — truncating 1.5s to 1 invites clients back before the
+// window has closed — and never less than a second, since Retry-After: 0
+// tells well-behaved clients to hammer the server in a tight loop.
 func (s *Server) retryAfterSeconds() int {
-	secs := int(s.cfg.BatchWindow / time.Second)
+	secs := int((s.cfg.BatchWindow + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
 	return secs
+}
+
+// writeDraining rejects a request during graceful drain: 503 with a
+// Retry-After hint, so load balancers and retrying clients back off to
+// another replica instead of treating the drain as a hard failure.
+func (s *Server) writeDraining(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	writeErr(w, http.StatusServiceUnavailable, "server is draining")
 }
 
 // readPointsCSV parses a CSV request body ("x,y" rows, optional "# key:
@@ -166,7 +177,7 @@ func (s *Server) readPointsCSV(w http.ResponseWriter, r *http.Request) ([]vdbsca
 
 func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		s.writeDraining(w)
 		return
 	}
 	points, csvName, err := s.readPointsCSV(w, r)
@@ -234,7 +245,7 @@ func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDatasetAppend(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		s.writeDraining(w)
 		return
 	}
 	d, ok := s.registry.get(r.PathValue("id"))
@@ -308,7 +319,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusTooManyRequests,
 				"job queue is full (%d queued)", s.queueDepth())
 		case errDraining:
-			writeErr(w, http.StatusServiceUnavailable, "server is draining")
+			s.writeDraining(w)
 		default:
 			writeErr(w, http.StatusInternalServerError, "%v", err)
 		}

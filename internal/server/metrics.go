@@ -51,6 +51,9 @@ type serverMetrics struct {
 	refreezeDur   *prom.Vec // vdbscand_dataset_refreeze_seconds
 	epsSearches   *prom.Vec // vdbscand_variant_eps_searches
 	candPerSearch *prom.Vec // vdbscand_variant_eps_candidates_per_search
+	snapshotWrite *prom.Vec // vdbscand_snapshot_write_seconds
+	snapshotLoad  *prom.Vec // vdbscand_snapshot_load_seconds
+	walReplay     *prom.Vec // vdbscand_wal_replay_seconds
 
 	// SSE broker counters.
 	sseFrames  *prom.Vec // vdbscand_sse_frames_total{event}
@@ -141,6 +144,15 @@ func newServerMetrics(s *Server) *serverMetrics {
 	m.candPerSearch = r.Histogram("vdbscand_variant_eps_candidates_per_search",
 		"Mean candidates examined per eps-search in one variant execution.",
 		ratioBuckets, labels...)
+	m.snapshotWrite = r.Histogram("vdbscand_snapshot_write_seconds",
+		"Duration of one durable dataset snapshot write (upload or re-freeze).",
+		prom.DurationBuckets, labels...)
+	m.snapshotLoad = r.Histogram("vdbscand_snapshot_load_seconds",
+		"Duration of one snapshot load (mmap + validation) at startup.",
+		prom.DurationBuckets, labels...)
+	m.walReplay = r.Histogram("vdbscand_wal_replay_seconds",
+		"Duration of one dataset's WAL backlog replay at startup.",
+		prom.DurationBuckets, labels...)
 
 	m.sseFrames = r.Counter("vdbscand_sse_frames_total",
 		"SSE frames published to job event streams, by frame event type.", "event")

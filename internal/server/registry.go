@@ -2,12 +2,14 @@ package server
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"vdbscan"
+	"vdbscan/internal/persist"
 )
 
 // dataset is one uploaded point database and its frozen index. The index is
@@ -29,6 +31,13 @@ type dataset struct {
 	refreezing bool
 	flushCh    chan struct{} // closed when the in-flight re-freeze installs
 	deleted    bool
+
+	// Durable-store state (see persistence.go); zero when the server runs
+	// without a data dir or this dataset's persistence failed and degraded
+	// it to memory-only.
+	dir    string       // this dataset's directory under Config.DataDir
+	wal    *persist.WAL // open segment wal.<walSeq>; nil until the first append
+	walSeq int          // current WAL segment sequence
 }
 
 // snapshot returns the dataset's current frozen index, its point count, and
@@ -51,10 +60,22 @@ type registry struct {
 	// rebuild duration. Kept as a hook so the registry stays usable without
 	// a metrics plane.
 	onRefreeze func(d *dataset, points int, dur time.Duration)
+
+	// onPersist, when set (by Server.New), observes each durable-store
+	// operation: op is one of persistOpWrite, persistOpLoad,
+	// persistOpWALReplay (WAL appends are not reported — they are
+	// per-request, and the request path already carries latency metrics).
+	onPersist func(d *dataset, op string, dur time.Duration)
+
+	log *slog.Logger
 }
 
 func newRegistry(cfg Config) *registry {
-	return &registry{cfg: cfg, m: map[string]*dataset{}}
+	log := cfg.Logger
+	if log == nil {
+		log = discardLogger()
+	}
+	return &registry{cfg: cfg, m: map[string]*dataset{}, log: log}
 }
 
 // create indexes points and registers the dataset. r == 0 falls back to
@@ -88,6 +109,7 @@ func (g *registry) create(name string, points []vdbscan.Point, r int, kind vdbsc
 	if d.name == "" {
 		d.name = d.id
 	}
+	g.persistCreate(d)
 	g.mu.Lock()
 	g.m[d.id] = d
 	g.mu.Unlock()
@@ -109,6 +131,7 @@ func (g *registry) delete(id string) bool {
 	if ok {
 		d.mu.Lock()
 		d.deleted = true
+		g.persistDelete(d)
 		d.mu.Unlock()
 	}
 	return ok
@@ -138,6 +161,7 @@ func (g *registry) len() int {
 func (g *registry) append(d *dataset, pts []vdbscan.Point, ctrs *counters) (staged int, refreezing bool) {
 	d.mu.Lock()
 	d.staged = append(d.staged, pts...)
+	g.walAppend(d, pts) // under d.mu: WAL record order matches d.staged
 	staged = len(d.staged)
 	kick := staged >= g.cfg.RefreezePoints && !d.refreezing
 	if kick {
@@ -159,6 +183,10 @@ func (g *registry) refreeze(d *dataset, ctrs *counters) {
 	began := time.Now()
 	d.mu.Lock()
 	base, add := d.points, d.staged
+	// Rotate the WAL in the same critical section that captures the
+	// rebuild's input: the closed segment holds exactly add, so the
+	// snapshot written after install can fold it and nothing else.
+	folded := g.rotateWAL(d)
 	d.mu.Unlock()
 
 	combined := make([]vdbscan.Point, 0, len(base)+len(add))
@@ -182,6 +210,7 @@ func (g *registry) refreeze(d *dataset, ctrs *counters) {
 	ch := d.flushCh
 	d.flushCh = nil
 	d.mu.Unlock()
+	g.persistInstall(d, idx, folded)
 	if ctrs != nil {
 		ctrs.refreezes.Add(1)
 	}

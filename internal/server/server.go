@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"vdbscan"
+	"vdbscan/internal/obs/prom"
 )
 
 // Defaults for Config zero values (DefaultBatchWindow is the one exception:
@@ -98,6 +99,16 @@ type Config struct {
 	// debug), each carrying request/job/batch/dataset correlation IDs.
 	// Nil discards everything.
 	Logger *slog.Logger
+	// DataDir, when non-empty, turns on the durable dataset store: every
+	// dataset gets a page-aligned snapshot of its frozen index (written at
+	// upload and after each re-freeze) plus a write-ahead log of appended
+	// points, under DataDir/<dataset-id>/. On startup the directory is
+	// scanned and every readable dataset is restored — the snapshot is
+	// served via mmap with zero deserialization, the WAL backlog replays
+	// into the staged set — so a warm restart answers its first job
+	// without re-freezing anything. Corrupt or torn files are skipped
+	// with a log line, never fatal. Empty keeps the registry memory-only.
+	DataDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -194,6 +205,23 @@ func New(cfg Config) *Server {
 		s.log.Info("dataset refrozen",
 			"dataset", d.id, "points", points, "duration", dur)
 	}
+	s.registry.onPersist = func(d *dataset, op string, dur time.Duration) {
+		var vec *prom.Vec
+		switch op {
+		case persistOpWrite:
+			vec = s.mx.snapshotWrite
+		case persistOpLoad:
+			vec = s.mx.snapshotLoad
+		case persistOpWALReplay:
+			vec = s.mx.walReplay
+		default:
+			return
+		}
+		vec.With(d.id, d.kind.String(), labelNA).Observe(dur.Seconds())
+	}
+	// Restore persisted datasets before the runners start, so the first
+	// admitted job already sees the warm registry.
+	s.registry.loadAll()
 	for i := 0; i < cfg.Runners; i++ {
 		go s.runner()
 	}

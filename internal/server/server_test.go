@@ -11,6 +11,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -354,8 +355,8 @@ func TestBackpressure429(t *testing.T) {
 	if code != http.StatusTooManyRequests {
 		t.Fatalf("third submit = %d, want 429; body: %s", code, body)
 	}
-	if ra := hdr.Get("Retry-After"); ra == "" {
-		t.Error("429 lacks Retry-After header")
+	if ra, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("429 Retry-After = %q, want an integer >= 1", hdr.Get("Retry-After"))
 	}
 	if got := s.ctrs.jobsRejected.Load(); got != 1 {
 		t.Errorf("jobsRejected = %d", got)
@@ -366,6 +367,62 @@ func TestBackpressure429(t *testing.T) {
 	doc := c.submitJob("d1", `{"variants":[{"eps":4,"minpts":4}]}`, http.StatusAccepted)
 	if doc["state"] != stateQueued {
 		t.Errorf("resubmit state = %v", doc["state"])
+	}
+}
+
+// TestRetryAfterSeconds pins the hint's rounding contract: a sub-second
+// batch window must not truncate to Retry-After: 0 (which many clients
+// read as "retry immediately", defeating the backoff), and fractional
+// windows round up so the hinted wait always covers the window.
+func TestRetryAfterSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		window time.Duration
+		want   int
+	}{
+		{0, 1},
+		{50 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1500 * time.Millisecond, 2},
+		{2 * time.Second, 2},
+		{2*time.Second + time.Millisecond, 3},
+	} {
+		s := &Server{cfg: Config{BatchWindow: tc.window}}
+		if got := s.retryAfterSeconds(); got != tc.want {
+			t.Errorf("retryAfterSeconds(window=%v) = %d, want %d", tc.window, got, tc.want)
+		}
+	}
+}
+
+// TestDrainingResponsesCarryRetryAfter: every 503 rejected during drain —
+// upload, append, job submit — must carry a Retry-After hint of at least
+// one second, so retrying clients and load balancers actually back off.
+func TestDrainingResponsesCarryRetryAfter(t *testing.T) {
+	s, c := newTestServer(t, Config{Threads: 1, BatchWindow: 1500 * time.Millisecond})
+	c.doJSON("POST", "/v1/datasets", pointsCSV(t, testPoints(t, 200)), http.StatusCreated)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	for _, tc := range []struct {
+		name, method, path string
+		body               []byte
+	}{
+		{"upload", "POST", "/v1/datasets", pointsCSV(t, testPoints(t, 10))},
+		{"append", "POST", "/v1/datasets/d1/points", pointsCSV(t, testPoints(t, 10))},
+		{"submit", "POST", "/v1/datasets/d1/jobs", []byte(`{"variants":[{"eps":2,"minpts":4}]}`)},
+	} {
+		code, hdr, body := c.do(tc.method, tc.path, tc.body)
+		if code != http.StatusServiceUnavailable {
+			t.Errorf("%s while draining = %d, want 503; body: %s", tc.name, code, body)
+			continue
+		}
+		// BatchWindow 1.5s rounds up: the ceil is observable on the wire.
+		if ra := hdr.Get("Retry-After"); ra != "2" {
+			t.Errorf("%s 503 Retry-After = %q, want \"2\"", tc.name, ra)
+		}
 	}
 }
 
