@@ -1,0 +1,168 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vdbscan/internal/server"
+)
+
+const testCSV = "0,0\n0.1,0\n0,0.1\n0.1,0.1\n5,5\n5.1,5\n5,5.1\n5.1,5.1\n20,20\n"
+
+func newTestDaemon(t *testing.T, cfg server.Config) (*Client, *httptest.Server) {
+	t.Helper()
+	if cfg.Threads == 0 {
+		cfg.Threads = 2
+	}
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(srv.Close)
+	return New(ts.URL), ts
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	c, _ := newTestDaemon(t, server.Config{})
+	ctx := context.Background()
+
+	ds, err := c.UploadCSV(ctx, strings.NewReader(testCSV), "trip", nil)
+	if err != nil {
+		t.Fatalf("UploadCSV: %v", err)
+	}
+	if ds.Points != 9 || ds.Name != "trip" {
+		t.Fatalf("dataset = %+v, want 9 points named trip", ds)
+	}
+	if all, err := c.Datasets(ctx); err != nil || len(all) != 1 {
+		t.Fatalf("Datasets = %v, %v; want 1 dataset", all, err)
+	}
+
+	j, err := c.Submit(ctx, ds.ID, SubmitRequest{Variants: []Variant{
+		{Eps: 0.5, MinPts: 3}, {Eps: 0.6, MinPts: 3},
+	}})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if j.State != "queued" {
+		t.Fatalf("state = %q, want queued", j.State)
+	}
+
+	j, err = c.Wait(ctx, j.ID, 2*time.Second)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if j.State != "done" || len(j.Results) != 2 {
+		t.Fatalf("job = %+v, want done with 2 results", j)
+	}
+	if j.Results[0].Clusters != 2 {
+		t.Errorf("clusters = %d, want 2", j.Results[0].Clusters)
+	}
+	if j.Work == nil || j.Work.Charge != j.Work.EpsSearches+j.Work.CandidatesExamined {
+		t.Errorf("work = %+v, want charge = searches+candidates", j.Work)
+	}
+
+	labels, err := c.Labels(ctx, j.ID, 0)
+	if err != nil {
+		t.Fatalf("Labels: %v", err)
+	}
+	if lines := strings.Count(string(labels), "\n"); lines != 10 { // header + 9 rows
+		t.Errorf("labels has %d lines, want 10", lines)
+	}
+	if txt, err := c.TraceText(ctx, j.ID); err != nil || !strings.Contains(string(txt), "trace:") {
+		t.Errorf("TraceText = %q, %v", txt, err)
+	}
+
+	tn, err := c.TenantSelf(ctx)
+	if err != nil {
+		t.Fatalf("TenantSelf: %v", err)
+	}
+	if tn.ID != "anonymous" || tn.Usage.WorkCharged != j.Work.Charge {
+		t.Errorf("tenant = %+v, want anonymous charged %d", tn, j.Work.Charge)
+	}
+
+	if err := c.DeleteDataset(ctx, ds.ID); err != nil {
+		t.Fatalf("DeleteDataset: %v", err)
+	}
+}
+
+func TestClientEvents(t *testing.T) {
+	c, _ := newTestDaemon(t, server.Config{})
+	ctx := context.Background()
+	ds, err := c.UploadCSV(ctx, strings.NewReader(testCSV), "", nil)
+	if err != nil {
+		t.Fatalf("UploadCSV: %v", err)
+	}
+	j, err := c.Submit(ctx, ds.ID, SubmitRequest{Variants: []Variant{{Eps: 0.5, MinPts: 3}}})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	var names []string
+	if err := c.Events(ctx, j.ID, func(ev Event) error {
+		names = append(names, ev.Name)
+		return nil
+	}); err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	if len(names) == 0 || names[len(names)-1] != "done" {
+		t.Fatalf("events = %v, want terminal done", names)
+	}
+}
+
+func TestClientEnvelopeError(t *testing.T) {
+	c, _ := newTestDaemon(t, server.Config{})
+	_, err := c.Job(context.Background(), "nope")
+	apiErr, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("err = %T %v, want *APIError", err, err)
+	}
+	if apiErr.Status != http.StatusNotFound || apiErr.Code != "not_found" {
+		t.Errorf("err = %+v, want 404 not_found", apiErr)
+	}
+	if !strings.Contains(apiErr.Message, `"nope"`) {
+		t.Errorf("message %q should name the job", apiErr.Message)
+	}
+}
+
+func TestClientLegacyV1Error(t *testing.T) {
+	// A /v1-only daemon answers with the flat {"error":"..."} document; the
+	// client must still surface the message (with an empty Code).
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error":"no job \"x\""}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+	_, err := New(ts.URL).Job(context.Background(), "x")
+	apiErr, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("err = %T, want *APIError", err)
+	}
+	if apiErr.Code != "" || apiErr.Message != `no job "x"` {
+		t.Errorf("err = %+v, want legacy message with empty code", apiErr)
+	}
+}
+
+func TestClientAuthAndRetryAfter(t *testing.T) {
+	c, ts := newTestDaemon(t, server.Config{
+		Tenants: []server.TenantConfig{{ID: "acme", Key: "sekrit"}},
+	})
+	ctx := context.Background()
+
+	_, err := c.Datasets(ctx)
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.Status != http.StatusUnauthorized || apiErr.Code != "unauthorized" {
+		t.Fatalf("unauthenticated err = %v, want 401 unauthorized", err)
+	}
+
+	authed := New(ts.URL, WithAPIKey("sekrit"))
+	tn, err := authed.TenantSelf(ctx)
+	if err != nil {
+		t.Fatalf("TenantSelf with key: %v", err)
+	}
+	if tn.ID != "acme" {
+		t.Errorf("tenant = %q, want acme", tn.ID)
+	}
+}

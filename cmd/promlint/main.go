@@ -5,7 +5,14 @@
 // Usage:
 //
 //	curl -s localhost:8714/metrics | promlint -min-histograms 5 -require-labels dataset,index,tiled
+//	curl -s localhost:8714/metrics | promlint -require-family-labels vdbscand_tenant_:tenant
 //	promlint metrics.txt
+//
+// -require-family-labels is repeatable and takes PREFIX:LABEL[,LABEL...]:
+// at least one family (of any type) whose name starts with PREFIX must be
+// present with samples, and every such family's samples must carry all the
+// listed labels. Unlike -require-labels it covers counters and gauges, not
+// just histograms — vdbscand's per-tenant accounting families are counters.
 //
 // Exit status is non-zero when the input is malformed or a requirement is
 // unmet; on success it prints a one-line summary.
@@ -25,6 +32,17 @@ func main() {
 	minHist := flag.Int("min-histograms", 0, "fail unless at least this many histogram families are present")
 	requireLabels := flag.String("require-labels", "",
 		"comma-separated label names every histogram family must carry on its samples")
+	var familyReqs []familyReq
+	flag.Func("require-family-labels",
+		"PREFIX:LABEL[,LABEL...] — require >=1 family named PREFIX* with samples carrying the labels (repeatable)",
+		func(v string) error {
+			req, err := parseFamilyReq(v)
+			if err != nil {
+				return err
+			}
+			familyReqs = append(familyReqs, req)
+			return nil
+		})
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -60,12 +78,53 @@ func main() {
 			}
 		}
 	}
+	for _, req := range familyReqs {
+		matched := 0
+		for _, fam := range exp.Families {
+			if !strings.HasPrefix(fam.Name, req.prefix) || len(fam.Samples) == 0 {
+				continue
+			}
+			matched++
+			for _, l := range req.labels {
+				if _, ok := fam.Samples[0].Labels[l]; !ok {
+					fatal("%s: family %s missing required label %q", name, fam.Name, l)
+				}
+			}
+		}
+		if matched == 0 {
+			fatal("%s: no family named %s* has samples (required labels %s)",
+				name, req.prefix, strings.Join(req.labels, ","))
+		}
+	}
 	samples := 0
 	for _, fam := range exp.Families {
 		samples += len(fam.Samples)
 	}
 	fmt.Printf("promlint: %s ok — %d families (%d histograms), %d samples\n",
 		name, len(exp.Families), exp.Histograms(), samples)
+}
+
+// familyReq is one parsed -require-family-labels value.
+type familyReq struct {
+	prefix string
+	labels []string
+}
+
+func parseFamilyReq(v string) (familyReq, error) {
+	prefix, labelList, ok := strings.Cut(v, ":")
+	if !ok || prefix == "" || labelList == "" {
+		return familyReq{}, fmt.Errorf("want PREFIX:LABEL[,LABEL...], got %q", v)
+	}
+	var labels []string
+	for _, l := range strings.Split(labelList, ",") {
+		if l = strings.TrimSpace(l); l != "" {
+			labels = append(labels, l)
+		}
+	}
+	if len(labels) == 0 {
+		return familyReq{}, fmt.Errorf("no labels in %q", v)
+	}
+	return familyReq{prefix: strings.TrimSpace(prefix), labels: labels}, nil
 }
 
 func fatal(format string, args ...any) {

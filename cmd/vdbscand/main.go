@@ -14,7 +14,9 @@
 //
 //	VDBSCAND_ADDR=:9000 VDBSCAND_BATCH_WINDOW=250ms vdbscand
 //
-// Endpoints (see internal/server for the full contract):
+// Endpoints (see internal/server for the full contract; every /v1 route
+// also exists under /v2 with the versioned error envelope, tenant-aware job
+// documents, and GET /v2/tenants/self):
 //
 //	POST   /v1/datasets            upload a CSV dataset (?name=, ?r=, ?index=)
 //	POST   /v1/datasets/{id}/jobs  submit a variant list, get a job ID
@@ -22,7 +24,16 @@
 //	GET    /v1/jobs/{id}/labels    per-variant labels CSV (?variant=N)
 //	GET    /v1/jobs/{id}/trace     execution trace (?format=chrome|text)
 //	GET    /v1/jobs/{id}/events    live job progress as Server-Sent Events
+//	GET    /v2/tenants/self        the calling tenant's limits and usage
 //	GET    /metrics                Prometheus text exposition
+//
+// With -keys-file (or inline VDBSCAND_KEYS JSON) configured, the data plane
+// requires an API key — Authorization: Bearer or X-Api-Key — and each key
+// maps to a tenant with optional request-rate, concurrent-jobs, and
+// work-quota limits plus the allow_approx load-shedding opt-in. Finished
+// job results are evicted after -job-ttl (410 Gone afterwards); when the
+// queue backlog reaches -shed-threshold, opted-in tenants receive
+// ρ-approximate answers (slack -shed-rho) tagged "quality":"approx".
 //
 // With -admin-addr set, a second listener serves the operator plane:
 // /debug/pprof/*, /admin/runtime, /admin/goroutines, plus /metrics and
@@ -54,6 +65,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -71,21 +83,26 @@ func main() {
 // envDefaults resolves the VDBSCAND_* environment into flag defaults,
 // erroring on set-but-unparsable values instead of silently ignoring them.
 type envDefaults struct {
-	addr         string
-	adminAddr    string
-	logLevel     string
-	logFormat    string
-	threads      int
-	queue        int
-	runners      int
-	refreeze     int
-	tiles        int
-	r            int
-	index        string
-	dataDir      string
-	batchWindow  time.Duration
-	jobTimeout   time.Duration
-	drainTimeout time.Duration
+	addr          string
+	adminAddr     string
+	logLevel      string
+	logFormat     string
+	threads       int
+	queue         int
+	runners       int
+	refreeze      int
+	tiles         int
+	r             int
+	index         string
+	dataDir       string
+	keysFile      string
+	keysInline    string
+	shedThreshold int
+	shedRho       float64
+	batchWindow   time.Duration
+	jobTimeout    time.Duration
+	jobTTL        time.Duration
+	drainTimeout  time.Duration
 }
 
 func loadEnv() (envDefaults, error) {
@@ -116,16 +133,53 @@ func loadEnv() (envDefaults, error) {
 	}
 	d.index = cliutil.EnvOr("VDBSCAND_INDEX", "rtree")
 	d.dataDir = cliutil.EnvOr("VDBSCAND_DATA_DIR", "")
+	d.keysFile = cliutil.EnvOr("VDBSCAND_KEYS_FILE", "")
+	d.keysInline = cliutil.EnvOr("VDBSCAND_KEYS", "")
+	if d.shedThreshold, err = cliutil.EnvIntOr("VDBSCAND_SHED_THRESHOLD", 0); err != nil {
+		return d, err
+	}
+	if d.shedRho, err = cliutil.EnvFloatOr("VDBSCAND_SHED_RHO", server.DefaultShedRho); err != nil {
+		return d, err
+	}
 	if d.batchWindow, err = cliutil.EnvDurationOr("VDBSCAND_BATCH_WINDOW", 0); err != nil {
 		return d, err
 	}
 	if d.jobTimeout, err = cliutil.EnvDurationOr("VDBSCAND_JOB_TIMEOUT", server.DefaultJobTimeout); err != nil {
 		return d, err
 	}
+	if d.jobTTL, err = cliutil.EnvDurationOr("VDBSCAND_JOB_TTL", server.DefaultJobTTL); err != nil {
+		return d, err
+	}
 	if d.drainTimeout, err = cliutil.EnvDurationOr("VDBSCAND_DRAIN_TIMEOUT", 30*time.Second); err != nil {
 		return d, err
 	}
 	return d, nil
+}
+
+// loadTenants resolves the tenant key set: -keys-file wins, then the inline
+// VDBSCAND_KEYS JSON; both empty means the server runs open (anonymous
+// tenant, no limits).
+func loadTenants(keysFile, keysInline string) ([]server.TenantConfig, error) {
+	switch {
+	case keysFile != "":
+		f, err := os.Open(keysFile)
+		if err != nil {
+			return nil, fmt.Errorf("keys-file: %w", err)
+		}
+		defer f.Close()
+		tenants, err := server.ParseKeysJSON(f)
+		if err != nil {
+			return nil, fmt.Errorf("keys-file %s: %w", keysFile, err)
+		}
+		return tenants, nil
+	case keysInline != "":
+		tenants, err := server.ParseKeysJSON(strings.NewReader(keysInline))
+		if err != nil {
+			return nil, fmt.Errorf("VDBSCAND_KEYS: %w", err)
+		}
+		return tenants, nil
+	}
+	return nil, nil
 }
 
 func run() error {
@@ -148,13 +202,25 @@ func run() error {
 	indexKind := flag.String("index", env.index, "eps-search index structure for uploads: rtree or grid")
 	dataDir := flag.String("data-dir", env.dataDir,
 		"directory for durable dataset snapshots and WALs; restored on startup (empty = memory-only)")
+	keysFile := flag.String("keys-file", env.keysFile,
+		"JSON file of tenant API keys and limits (empty = open server, anonymous tenant)")
+	shedThreshold := flag.Int("shed-threshold", env.shedThreshold,
+		"queue depth that triggers approximate load shedding for opted-in tenants (0 disables)")
+	shedRho := flag.Float64("shed-rho", env.shedRho,
+		"rho slack of load-shed approximate runs, in (0,1]")
 	batchWindow := flag.Duration("batch-window", env.batchWindow,
 		"coalesce same-dataset jobs arriving within this window (0 disables)")
 	jobTimeout := flag.Duration("job-timeout", env.jobTimeout, "default per-job deadline")
+	jobTTL := flag.Duration("job-ttl", env.jobTTL,
+		"how long finished job results stay retrievable before eviction (negative = forever)")
 	drainTimeout := flag.Duration("drain-timeout", env.drainTimeout, "max time to drain on SIGTERM")
 	flag.Parse()
 
 	kindVal, err := cliutil.ParseIndexKind(*indexKind)
+	if err != nil {
+		return err
+	}
+	tenants, err := loadTenants(*keysFile, env.keysInline)
 	if err != nil {
 		return err
 	}
@@ -174,6 +240,10 @@ func run() error {
 		IndexKind:      kindVal,
 		Logger:         logger,
 		DataDir:        *dataDir,
+		Tenants:        tenants,
+		JobTTL:         *jobTTL,
+		ShedThreshold:  *shedThreshold,
+		ShedRho:        *shedRho,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -1,22 +1,23 @@
-// Servedemo is a vdbscand client: it spins up the clustering service
-// in-process, uploads a dataset, submits a variant job over HTTP, watches
-// the job live over the Server-Sent Events stream (falling back to
-// long-polling when streaming is unavailable), and fetches the execution
-// trace — the full submit → watch → results → trace loop a real client
-// would run against a deployed daemon.
+// Servedemo drives vdbscand through the public client package: it spins up
+// the clustering service in-process, uploads a dataset, submits a variant
+// job over the v2 API, watches the job live over the Server-Sent Events
+// stream (falling back to long-polling when streaming is unavailable), and
+// fetches the execution trace and the tenant's work ledger — the full
+// submit → watch → results → trace loop a real client would run against a
+// deployed daemon.
 //
 // Run `go run ./examples/servedemo`, or point it at an already-running
 // daemon with -addr (e.g. `vdbscand -addr :8714 &` then
-// `go run ./examples/servedemo -addr http://localhost:8714`).
+// `go run ./examples/servedemo -addr http://localhost:8714`); pass -key
+// when the daemon has API keys configured.
 package main
 
 import (
-	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"math/rand"
 	"net/http"
@@ -24,11 +25,13 @@ import (
 	"strings"
 	"time"
 
+	"vdbscan/client"
 	"vdbscan/internal/server"
 )
 
 func main() {
 	addr := flag.String("addr", "", "base URL of a running vdbscand (empty: start one in-process)")
+	key := flag.String("key", "", "tenant API key (when the daemon has -keys-file configured)")
 	flag.Parse()
 
 	base := *addr
@@ -41,56 +44,78 @@ func main() {
 		base = ts.URL
 		fmt.Printf("started in-process vdbscand at %s\n", base)
 	}
+	var opts []client.Option
+	if *key != "" {
+		opts = append(opts, client.WithAPIKey(*key))
+	}
+	c := client.New(base, opts...)
+	ctx := context.Background()
 
 	// 1. Upload: three Gaussian blobs plus background noise, as CSV.
 	rnd := rand.New(rand.NewSource(7))
 	var csv bytes.Buffer
 	csv.WriteString("# name: servedemo\n")
-	for _, c := range [][2]float64{{10, 10}, {30, 25}, {50, 10}} {
+	for _, ctr := range [][2]float64{{10, 10}, {30, 25}, {50, 10}} {
 		for i := 0; i < 500; i++ {
-			fmt.Fprintf(&csv, "%g,%g\n", c[0]+rnd.NormFloat64()*1.2, c[1]+rnd.NormFloat64()*1.2)
+			fmt.Fprintf(&csv, "%g,%g\n", ctr[0]+rnd.NormFloat64()*1.2, ctr[1]+rnd.NormFloat64()*1.2)
 		}
 	}
 	for i := 0; i < 400; i++ {
 		fmt.Fprintf(&csv, "%g,%g\n", rnd.Float64()*60, rnd.Float64()*35)
 	}
-	ds := postDoc(base+"/v1/datasets", csv.Bytes())
+	ds, err := c.UploadCSV(ctx, &csv, "", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("uploaded dataset %s: %v points (index version %v)\n",
-		ds["id"], ds["points"], ds["version"])
+		ds.ID, ds.Points, ds.Version)
 
 	// 2. Submit a three-variant job; the response carries the job ID to poll.
-	job := postDoc(base+"/v1/datasets/"+ds["id"].(string)+"/jobs",
-		[]byte(`{"variants":[{"eps":0.8,"minpts":8},{"eps":1.0,"minpts":4},{"eps":1.5,"minpts":4}]}`))
-	jobID := job["id"].(string)
-	fmt.Printf("submitted job %s (state %v, batch %v)\n", jobID, job["state"], job["batch"])
+	job, err := c.Submit(ctx, ds.ID, client.SubmitRequest{Variants: []client.Variant{
+		{Eps: 0.8, MinPts: 8}, {Eps: 1.0, MinPts: 4}, {Eps: 1.5, MinPts: 4},
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted job %s (state %v, batch %v)\n", job.ID, job.State, job.Batch)
 
 	// 3. Watch live: the SSE stream pushes queued → batched → running →
 	// per-variant progress → done without any polling. If the stream can't
 	// be opened (old daemon, proxy stripping streaming), fall back to
 	// long-polling the job document.
-	final := watchSSE(base, jobID)
+	final := watchSSE(ctx, c, job.ID)
 	if final == "" {
 		fmt.Println("SSE unavailable; falling back to long-poll")
-		for job["state"] == "queued" || job["state"] == "running" {
-			job = getDoc(base + "/v1/jobs/" + jobID + "?wait=10s")
+		job, err = c.Wait(ctx, job.ID, 10*time.Second)
+		if err != nil {
+			log.Fatal(err)
 		}
-		final = job["state"].(string)
+		final = job.State
 	}
-	job = getDoc(base + "/v1/jobs/" + jobID)
+	job, err = c.Job(ctx, job.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if final != "done" {
-		log.Fatalf("job %s ended %v: %v", jobID, final, job["error"])
+		log.Fatalf("job %s ended %v: %v", job.ID, final, job.Error)
 	}
 
 	fmt.Printf("\n%-16s %9s %7s %8s %8s\n", "variant", "clusters", "noise", "reused", "scratch")
-	for _, r := range job["results"].([]any) {
-		v := r.(map[string]any)
+	for _, v := range job.Results {
 		fmt.Printf("eps=%-4v mp=%-4v %9v %7v %7.1f%% %8v\n",
-			v["eps"], v["minpts"], v["clusters"], v["noise"],
-			v["fraction_reused"].(float64)*100, v["from_scratch"])
+			v.Eps, v.MinPts, v.Clusters, v.Noise,
+			v.FractionReused*100, v.FromScratch)
+	}
+	if job.Work != nil {
+		fmt.Printf("\nwork charged: %d units (%d eps-searches + %d candidates)\n",
+			job.Work.Charge, job.Work.EpsSearches, job.Work.CandidatesExamined)
 	}
 
 	// 4. The trace shows the one batch run that served the job.
-	text := get(base + "/v1/jobs/" + jobID + "/trace?format=text")
+	text, err := c.TraceText(ctx, job.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\ntrace:\n")
 	for i, line := range strings.SplitN(string(text), "\n", 8) {
 		if i == 7 || line == "" {
@@ -98,6 +123,14 @@ func main() {
 		}
 		fmt.Printf("  %s\n", line)
 	}
+
+	// 5. The tenant ledger shows what the run cost against any quota.
+	tn, err := c.TenantSelf(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tenant %s: %d work units charged over %d jobs\n",
+		tn.ID, tn.Usage.WorkCharged, tn.Usage.JobsCharged)
 
 	metrics := get(base + "/metrics")
 	for _, line := range strings.Split(string(metrics), "\n") {
@@ -111,73 +144,42 @@ func main() {
 // watchSSE consumes the job's event stream, printing a live line per
 // lifecycle change and per completed variant. Returns the terminal state,
 // or "" if streaming was unavailable (the caller then long-polls).
-func watchSSE(base, jobID string) string {
-	resp, err := http.Get(base + "/v1/jobs/" + jobID + "/events")
-	if err != nil {
-		return ""
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK ||
-		!strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
-		return ""
-	}
-	sc := bufio.NewScanner(resp.Body)
-	event, data := "", ""
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "event: "):
-			event = strings.TrimPrefix(line, "event: ")
-		case strings.HasPrefix(line, "data: "):
-			data = strings.TrimPrefix(line, "data: ")
-		case line == "" && event != "":
-			var f map[string]any
-			if err := json.Unmarshal([]byte(data), &f); err != nil {
-				f = map[string]any{}
-			}
-			switch event {
-			case "queued", "batched", "running":
-				fmt.Printf("  job %s: %s\n", jobID, event)
-			case "progress":
-				src := "from scratch"
-				if f["from_scratch"] != true {
-					src = fmt.Sprintf("reused %.1f%% of variant %v",
-						asFloat(f["fraction_reused"])*100, f["source"])
-				}
-				fmt.Printf("  [%v/%v] variant %v done in %.1fms (%s)\n",
-					f["done"], f["total"], f["variant"], asFloat(f["duration_ms"]), src)
-			case "phase":
-				fmt.Printf("  variant %v: %v %v\n", f["variant"], f["phase"], f["state"])
-			case "done", "failed", "canceled":
-				fmt.Printf("  job %s: %s (%.1fms end to end)\n",
-					jobID, event, asFloat(f["duration_ms"]))
-				return event
-			}
-			event, data = "", ""
+func watchSSE(ctx context.Context, c *client.Client, jobID string) string {
+	final := ""
+	err := c.Events(ctx, jobID, func(ev client.Event) error {
+		var f map[string]any
+		if err := json.Unmarshal(ev.Data, &f); err != nil {
+			f = map[string]any{}
 		}
+		switch ev.Name {
+		case "queued", "batched", "running":
+			fmt.Printf("  job %s: %s\n", jobID, ev.Name)
+		case "progress":
+			src := "from scratch"
+			if f["from_scratch"] != true {
+				src = fmt.Sprintf("reused %.1f%% of variant %v",
+					asFloat(f["fraction_reused"])*100, f["source"])
+			}
+			fmt.Printf("  [%v/%v] variant %v done in %.1fms (%s)\n",
+				f["done"], f["total"], f["variant"], asFloat(f["duration_ms"]), src)
+		case "phase":
+			fmt.Printf("  variant %v: %v %v\n", f["variant"], f["phase"], f["state"])
+		case "done", "failed", "canceled":
+			fmt.Printf("  job %s: %s (%.1fms end to end)\n",
+				jobID, ev.Name, asFloat(f["duration_ms"]))
+			final = ev.Name
+		}
+		return nil
+	})
+	if err != nil {
+		return "" // stream unavailable or broke before the terminal frame
 	}
-	return "" // stream broke before the terminal frame
+	return final
 }
 
 func asFloat(v any) float64 {
 	f, _ := v.(float64)
 	return f
-}
-
-func postDoc(url string, body []byte) map[string]any {
-	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
-	if err != nil {
-		log.Fatal(err)
-	}
-	return decode(resp)
-}
-
-func getDoc(url string) map[string]any {
-	resp, err := http.Get(url)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return decode(resp)
 }
 
 func get(url string) []byte {
@@ -186,21 +188,9 @@ func get(url string) []byte {
 		log.Fatal(err)
 	}
 	defer resp.Body.Close()
-	out, err := io.ReadAll(resp.Body)
-	if err != nil {
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
 		log.Fatal(err)
 	}
-	return out
-}
-
-func decode(resp *http.Response) map[string]any {
-	defer resp.Body.Close()
-	var doc map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
-		log.Fatal(err)
-	}
-	if e, ok := doc["error"]; ok {
-		log.Fatalf("server error (%d): %v", resp.StatusCode, e)
-	}
-	return doc
+	return out.Bytes()
 }

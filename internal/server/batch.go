@@ -34,6 +34,7 @@ type batch struct {
 
 	timer  *time.Timer // coalescing-window seal; nil when batching is off
 	sealed bool        // guarded by Server.mu, like membership below
+	approx bool        // load-shed batch: runs the ρ-approximate path (see shed.go)
 
 	mu    sync.Mutex
 	jobs  []*job
@@ -135,6 +136,10 @@ func (b *batch) trace() (chrome, text []byte, ok bool) {
 // dataset's frozen index, run the union variant list once, and distribute
 // per-slot results to every member job still alive.
 func (s *Server) runBatch(b *batch) {
+	if b.approx {
+		s.runApproxBatch(b)
+		return
+	}
 	defer b.cancel()
 	jobs, union := b.members()
 
@@ -206,11 +211,20 @@ func (s *Server) runBatch(b *batch) {
 	}
 	// The tracer sink sees every span event at record time (concurrently,
 	// from worker goroutines). Variant completions feed the ε-search work
-	// histograms; tile-phase spans become SSE phase frames. Everything else
-	// is ignored in one switch.
+	// histograms and the per-slot work table that quota charging reads —
+	// e.Work on KindDone is that variant's own delta, so summing a job's
+	// slots prices exactly the work its variants consumed. Tile-phase spans
+	// become SSE phase frames. Everything else is ignored in one switch.
+	var slotMu sync.Mutex
+	slotWork := make([]vdbscan.Work, len(union))
 	sink := func(e obs.Event) {
 		switch e.Kind {
 		case obs.KindDone:
+			if e.Variant >= 0 && int(e.Variant) < len(union) {
+				slotMu.Lock()
+				slotWork[e.Variant] = slotWork[e.Variant].Add(e.Work)
+				slotMu.Unlock()
+			}
 			if e.Variant >= 0 && e.Work.NeighborSearches > 0 {
 				ob.epsSearches.Observe(float64(e.Work.NeighborSearches))
 				ob.candPerSearch.Observe(
@@ -280,6 +294,7 @@ func (s *Server) runBatch(b *batch) {
 	s.ctrs.variantsRun.Add(int64(len(union)))
 
 	for _, j := range live {
+		var jw vdbscan.Work
 		outcomes := make([]variantOutcome, len(j.params))
 		for i, slot := range j.slots {
 			vr := run.Results[slot]
@@ -292,9 +307,12 @@ func (s *Server) runBatch(b *batch) {
 				Duration:       vr.Duration(),
 				clustering:     vr.Clustering,
 			}
+			jw = jw.Add(slotWork[slot])
 		}
+		j.setOutcomeMeta("", jw)
 		if j.finish(stateDone, "", outcomes) {
 			s.ctrs.jobsCompleted.Add(1)
+			s.chargeJob(j, jw.NeighborSearches, jw.CandidatesExamined)
 			b.leave(j)
 		}
 	}

@@ -282,14 +282,14 @@ const sseHeartbeat = 15 * time.Second
 // Frames carry an id: with the per-job sequence number, so gaps reveal
 // drop-oldest backpressure.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.jobs.get(r.PathValue("id"))
+	j, ok := s.lookupJob(w, r)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
 		return
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		writeErr(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		s.apiErr(w, r, http.StatusInternalServerError, errCodeInternal,
+			"streaming unsupported by this connection")
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")

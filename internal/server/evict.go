@@ -1,0 +1,84 @@
+package server
+
+import (
+	"time"
+)
+
+// TTL eviction: finished job results (labels, trace, document) used to live
+// in memory forever, which caps a long-running daemon's uptime by its job
+// history. A background sweeper now moves jobs that have been terminal for
+// Config.JobTTL out of the store, leaving a tenant-scoped tombstone so a
+// late GET distinguishes "never existed" (404) from "expired" (410 Gone,
+// code "gone"). Live jobs — queued or running — are never touched: the TTL
+// clock starts at the terminal transition.
+
+// evictSweepEvery bounds how often the sweeper wakes: TTL/4 keeps eviction
+// latency under 25% of the TTL without busy-waking on long TTLs.
+func sweepInterval(ttl time.Duration) time.Duration {
+	iv := ttl / 4
+	if iv < 100*time.Millisecond {
+		iv = 100 * time.Millisecond
+	}
+	if iv > time.Minute {
+		iv = time.Minute
+	}
+	return iv
+}
+
+// terminalSince returns when the job turned terminal, or ok=false while it
+// is still live.
+func (j *job) terminalSince() (time.Time, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.finished, j.terminalLocked()
+}
+
+// evictedOwner returns the tenant whose evicted job tombstone matches id.
+func (st *jobStore) evictedOwner(id string) (*tenant, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	tn, ok := st.evicted[id]
+	return tn, ok
+}
+
+// evictExpired removes every job that has been terminal for at least ttl,
+// tombstoning each under its tenant. Returns the evicted jobs.
+func (st *jobStore) evictExpired(now time.Time, ttl time.Duration) []*job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []*job
+	for id, j := range st.m {
+		fin, terminal := j.terminalSince()
+		if !terminal || now.Sub(fin) < ttl {
+			continue
+		}
+		delete(st.m, id)
+		st.evicted[id] = j.tenant
+		out = append(out, j)
+	}
+	return out
+}
+
+// sweepEvictions is the background eviction loop; it runs for the server's
+// lifetime (Close stops it) when JobTTL is enabled.
+func (s *Server) sweepEvictions(ttl time.Duration) {
+	tick := time.NewTicker(sweepInterval(ttl))
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.sweepStop:
+			return
+		case now := <-tick.C:
+			evicted := s.jobs.evictExpired(now, ttl)
+			for _, j := range evicted {
+				tid := anonymousTenant
+				if j.tenant != nil {
+					tid = j.tenant.id()
+				}
+				s.mx.jobsEvicted.With(tid).Inc()
+				s.log.Info("job evicted",
+					"job", j.id, "tenant", tid, "dataset", j.datasetID, "ttl", ttl)
+			}
+		}
+	}
+}

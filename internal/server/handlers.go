@@ -2,7 +2,6 @@ package server
 
 import (
 	"encoding/json"
-	"fmt"
 	"net/http"
 	"strconv"
 	"time"
@@ -32,7 +31,7 @@ type variantSpec struct {
 	MinPts int     `json:"minpts"`
 }
 
-// jobRequest is the POST /v1/datasets/{id}/jobs body.
+// jobRequest is the POST /v{1,2}/datasets/{id}/jobs body.
 type jobRequest struct {
 	Variants []variantSpec `json:"variants"`
 	// TimeoutMS overrides the server's default job deadline (milliseconds).
@@ -42,6 +41,10 @@ type jobRequest struct {
 	// Labels are identical at any tile count; when coalescing merges jobs
 	// the batch runs with the largest requested value.
 	Tiles int `json:"tiles,omitempty"`
+	// AllowApprox opts this single job into load shedding (the per-request
+	// form of TenantConfig.AllowApprox): under queue pressure the job may
+	// be answered by ρ-approximate DBSCAN, tagged "quality":"approx".
+	AllowApprox bool `json:"allow_approx,omitempty"`
 }
 
 // variantDoc is one per-variant result inside a job document.
@@ -70,6 +73,22 @@ type jobDoc struct {
 	Started       string       `json:"started,omitempty"`
 	Finished      string       `json:"finished,omitempty"`
 	Results       []variantDoc `json:"results,omitempty"`
+	// Quality tags degraded answers: "approx" on load-shed jobs, absent on
+	// exact ones — so it never appears in pre-shedding response shapes.
+	Quality string `json:"quality,omitempty"`
+	// Tenant and Work are v2-only (left unset when rendering for /v1, so
+	// the v1 documents stay byte-identical to the original surface). Work
+	// appears once the job is done and is exactly what the quota ledger
+	// charged: eps_searches + candidates_examined = charge.
+	Tenant string      `json:"tenant,omitempty"`
+	Work   *jobWorkDoc `json:"work,omitempty"`
+}
+
+// jobWorkDoc itemizes a finished job's metered work and its quota charge.
+type jobWorkDoc struct {
+	EpsSearches        int64 `json:"eps_searches"`
+	CandidatesExamined int64 `json:"candidates_examined"`
+	Charge             int64 `json:"charge"`
 }
 
 type errorDoc struct {
@@ -84,10 +103,6 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
-}
-
-func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, errorDoc{Error: fmt.Sprintf(format, args...)})
 }
 
 func stamp(t time.Time) string {
@@ -112,8 +127,12 @@ func (s *Server) datasetDoc(d *dataset) datasetDoc {
 	}
 }
 
-func (s *Server) jobDoc(j *job) jobDoc {
+// jobDoc renders a job resource. v2 adds the tenant attribution and, once
+// the job is done, the metered-work breakdown; v1 omits both so its
+// documents stay byte-identical to the original surface.
+func (s *Server) jobDoc(j *job, v2 bool) jobDoc {
 	state, errMsg, started, finished, results := j.view()
+	quality, work := j.outcomeMeta()
 	members, union := j.batch.members()
 	doc := jobDoc{
 		ID:            j.id,
@@ -126,6 +145,19 @@ func (s *Server) jobDoc(j *job) jobDoc {
 		Created:       stamp(j.created),
 		Started:       stamp(started),
 		Finished:      stamp(finished),
+		Quality:       quality,
+	}
+	if v2 {
+		if j.tenant != nil {
+			doc.Tenant = j.tenant.id()
+		}
+		if state == stateDone {
+			doc.Work = &jobWorkDoc{
+				EpsSearches:        work.NeighborSearches,
+				CandidatesExamined: work.CandidatesExamined,
+				Charge:             workCharge(work.NeighborSearches, work.CandidatesExamined),
+			}
+		}
 	}
 	for _, o := range results {
 		doc.Results = append(doc.Results, variantDoc{
@@ -157,9 +189,29 @@ func (s *Server) retryAfterSeconds() int {
 // writeDraining rejects a request during graceful drain: 503 with a
 // Retry-After hint, so load balancers and retrying clients back off to
 // another replica instead of treating the drain as a hard failure.
-func (s *Server) writeDraining(w http.ResponseWriter) {
-	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-	writeErr(w, http.StatusServiceUnavailable, "server is draining")
+func (s *Server) writeDraining(w http.ResponseWriter, r *http.Request) {
+	s.apiErrRetry(w, r, http.StatusServiceUnavailable, errCodeDraining,
+		s.retryAfterSeconds(), "server is draining")
+}
+
+// lookupJob resolves {id} to a job owned by the requesting tenant. On
+// failure it writes the response itself: 410 Gone when the tenant's own
+// finished job was TTL-evicted, 404 otherwise. A job owned by another
+// tenant — live or evicted — is indistinguishable from one that never
+// existed, so neither the store nor the tombstones leak foreign job IDs.
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	id := r.PathValue("id")
+	tn := s.tenantFrom(r.Context())
+	if j, ok := s.jobs.get(id); ok && j.tenant == tn {
+		return j, true
+	}
+	if owner, ok := s.jobs.evictedOwner(id); ok && owner == tn {
+		s.apiErr(w, r, http.StatusGone, errCodeGone,
+			"job %q has been evicted (result TTL expired)", id)
+		return nil, false
+	}
+	s.apiErr(w, r, http.StatusNotFound, errCodeNotFound, "no job %q", id)
+	return nil, false
 }
 
 // readPointsCSV parses a CSV request body ("x,y" rows, optional "# key:
@@ -177,12 +229,12 @@ func (s *Server) readPointsCSV(w http.ResponseWriter, r *http.Request) ([]vdbsca
 
 func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		s.writeDraining(w)
+		s.writeDraining(w, r)
 		return
 	}
 	points, csvName, err := s.readPointsCSV(w, r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "parse dataset: %v", err)
+		s.apiErr(w, r, http.StatusBadRequest, errCodeBadRequest, "parse dataset: %v", err)
 		return
 	}
 	name := r.URL.Query().Get("name")
@@ -193,7 +245,7 @@ func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("r"); v != "" {
 		leafR, err = strconv.Atoi(v)
 		if err != nil || leafR < 0 {
-			writeErr(w, http.StatusBadRequest, "bad r parameter %q", v)
+			s.apiErr(w, r, http.StatusBadRequest, errCodeBadRequest, "bad r parameter %q", v)
 			return
 		}
 	}
@@ -201,13 +253,14 @@ func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("index"); v != "" {
 		kind, err = cliutil.ParseIndexKind(v)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "bad index parameter %q (want rtree or grid)", v)
+			s.apiErr(w, r, http.StatusBadRequest, errCodeBadRequest,
+				"bad index parameter %q (want rtree or grid)", v)
 			return
 		}
 	}
 	d, err := s.registry.create(name, points, leafR, kind)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		s.apiErr(w, r, http.StatusBadRequest, errCodeBadRequest, "%v", err)
 		return
 	}
 	s.ctrs.datasets.Add(1)
@@ -228,7 +281,7 @@ func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
 	d, ok := s.registry.get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no dataset %q", r.PathValue("id"))
+		s.apiErr(w, r, http.StatusNotFound, errCodeNotFound, "no dataset %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, s.datasetDoc(d))
@@ -236,33 +289,46 @@ func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.registry.delete(id) {
-		writeErr(w, http.StatusNotFound, "no dataset %q", id)
-		return
+	switch err := s.registry.delete(id); err {
+	case nil:
+		w.WriteHeader(http.StatusNoContent)
+	case errRefreezing:
+		// Racing the background re-freeze: the install in flight is writing
+		// this dataset's snapshot, so deletion now would corrupt or resurrect
+		// it. Explicit conflict, retryable once the install lands.
+		s.apiErrRetry(w, r, http.StatusConflict, errCodeConflict, s.retryAfterSeconds(),
+			"dataset %q is re-freezing; retry after the install completes", id)
+	default:
+		s.apiErr(w, r, http.StatusNotFound, errCodeNotFound, "no dataset %q", id)
 	}
-	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleDatasetAppend(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		s.writeDraining(w)
+		s.writeDraining(w, r)
 		return
 	}
 	d, ok := s.registry.get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no dataset %q", r.PathValue("id"))
+		s.apiErr(w, r, http.StatusNotFound, errCodeNotFound, "no dataset %q", r.PathValue("id"))
 		return
 	}
 	points, _, err := s.readPointsCSV(w, r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "parse points: %v", err)
+		s.apiErr(w, r, http.StatusBadRequest, errCodeBadRequest, "parse points: %v", err)
 		return
 	}
 	if len(points) == 0 {
-		writeErr(w, http.StatusBadRequest, "no points in body")
+		s.apiErr(w, r, http.StatusBadRequest, errCodeBadRequest, "no points in body")
 		return
 	}
-	staged, refreezing := s.registry.append(d, points, &s.ctrs)
+	staged, refreezing, err := s.registry.append(d, points, &s.ctrs)
+	if err != nil {
+		// Lost the race with a concurrent delete after the registry lookup.
+		s.apiErr(w, r, http.StatusConflict, errCodeConflict,
+			"dataset %q was deleted concurrently; points not staged", d.id)
+		return
+	}
 	writeJSON(w, http.StatusAccepted, map[string]any{
 		"dataset":    d.id,
 		"staged":     staged,
@@ -273,25 +339,26 @@ func (s *Server) handleDatasetAppend(w http.ResponseWriter, r *http.Request) {
 // ---- job handlers ------------------------------------------------------
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	tn := s.tenantFrom(r.Context())
 	d, ok := s.registry.get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no dataset %q", r.PathValue("id"))
+		s.apiErr(w, r, http.StatusNotFound, errCodeNotFound, "no dataset %q", r.PathValue("id"))
 		return
 	}
 	var req jobRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "parse job request: %v", err)
+		s.apiErr(w, r, http.StatusBadRequest, errCodeBadRequest, "parse job request: %v", err)
 		return
 	}
 	if len(req.Variants) == 0 {
-		writeErr(w, http.StatusBadRequest, "job has no variants")
+		s.apiErr(w, r, http.StatusBadRequest, errCodeBadRequest, "job has no variants")
 		return
 	}
 	params := make([]vdbscan.Params, len(req.Variants))
 	for i, v := range req.Variants {
 		if v.Eps <= 0 || v.MinPts <= 0 {
-			writeErr(w, http.StatusBadRequest,
+			s.apiErr(w, r, http.StatusBadRequest, errCodeBadRequest,
 				"variant %d: eps and minpts must be positive (got eps=%g minpts=%d)",
 				i, v.Eps, v.MinPts)
 			return
@@ -303,41 +370,76 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 	}
 	if req.Tiles < 0 {
-		writeErr(w, http.StatusBadRequest, "tiles must be >= 0 (got %d)", req.Tiles)
+		s.apiErr(w, r, http.StatusBadRequest, errCodeBadRequest, "tiles must be >= 0 (got %d)", req.Tiles)
 		return
 	}
 
-	j := s.jobs.new(d.id, params, timeout)
+	// Tenant admission gates, checked before the queue-depth gate so a
+	// capped tenant cannot starve others out of queue slots it would not
+	// be allowed to use.
+	if tn.overQuota() {
+		s.mx.tenantRejected.With(tn.id(), "quota").Inc()
+		s.apiErrRetry(w, r, http.StatusTooManyRequests, errCodeQuotaExhausted, s.retryAfterSeconds(),
+			"tenant %s has exhausted its work quota (%d of %d units charged)",
+			tn.id(), tn.charged.Load(), tn.cfg.WorkQuota)
+		return
+	}
+	if tn.atJobCap() {
+		s.mx.tenantRejected.With(tn.id(), "concurrency").Inc()
+		s.apiErrRetry(w, r, http.StatusTooManyRequests, errCodeRateLimited, s.retryAfterSeconds(),
+			"tenant %s is at its concurrent-jobs cap (%d live)",
+			tn.id(), tn.cfg.MaxConcurrentJobs)
+		return
+	}
+
+	j := s.jobs.new(tn, d.id, params, timeout)
 	j.tiles = req.Tiles
+	j.approx = s.shouldShed(tn, req.AllowApprox)
 	j.events.mx = s.mx // safe: no frame published before admit
 	if err := s.admit(j); err != nil {
 		switch err {
 		case errQueueFull:
 			s.log.Warn("job rejected: queue full",
-				"req", requestID(r.Context()), "dataset", d.id, "queued", s.queueDepth())
-			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-			writeErr(w, http.StatusTooManyRequests,
+				"req", requestID(r.Context()), "dataset", d.id, "tenant", tn.id(),
+				"queued", s.queueDepth())
+			s.mx.tenantRejected.With(tn.id(), "queue").Inc()
+			s.apiErrRetry(w, r, http.StatusTooManyRequests, errCodeQueueFull, s.retryAfterSeconds(),
 				"job queue is full (%d queued)", s.queueDepth())
 		case errDraining:
-			s.writeDraining(w)
+			s.writeDraining(w, r)
 		default:
-			writeErr(w, http.StatusInternalServerError, "%v", err)
+			s.apiErr(w, r, http.StatusInternalServerError, errCodeInternal, "%v", err)
 		}
 		return
+	}
+	if j.approx {
+		tn.jobsShed.Add(1)
+		s.mx.jobsShed.With(tn.id()).Inc()
 	}
 	s.jobs.put(j)
 	s.armWatchdog(j)
 	s.log.Info("job accepted",
-		"req", requestID(r.Context()), "job", j.id, "dataset", d.id,
-		"batch", j.batch.id, "variants", len(params), "timeout", timeout)
-	w.Header().Set("Location", "/v1/jobs/"+j.id)
-	writeJSON(w, http.StatusAccepted, s.jobDoc(j))
+		"req", requestID(r.Context()), "job", j.id, "dataset", d.id, "tenant", tn.id(),
+		"batch", j.batch.id, "variants", len(params), "timeout", timeout,
+		"approx", j.approx)
+	prefix := "/v1"
+	if isV2(r) {
+		prefix = "/v2"
+	}
+	w.Header().Set("Location", prefix+"/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, s.jobDoc(j, isV2(r)))
 }
 
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	tn := s.tenantFrom(r.Context())
 	docs := []jobDoc{}
 	for _, j := range s.jobs.list() {
-		docs = append(docs, s.jobDoc(j))
+		// Hard tenant isolation: a tenant's listing contains its own jobs
+		// and nothing else, on both API versions.
+		if j.tenant != tn {
+			continue
+		}
+		docs = append(docs, s.jobDoc(j, isV2(r)))
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": docs})
 }
@@ -346,15 +448,14 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 // until the job turns terminal or the wait (capped at DefaultMaxLongPollWait)
 // elapses, whichever is first.
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.jobs.get(r.PathValue("id"))
+	j, ok := s.lookupJob(w, r)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
 		return
 	}
 	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
 		wait, err := time.ParseDuration(waitStr)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "bad wait %q: %v", waitStr, err)
+			s.apiErr(w, r, http.StatusBadRequest, errCodeBadRequest, "bad wait %q: %v", waitStr, err)
 			return
 		}
 		if wait > DefaultMaxLongPollWait {
@@ -371,25 +472,23 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	writeJSON(w, http.StatusOK, s.jobDoc(j))
+	writeJSON(w, http.StatusOK, s.jobDoc(j, isV2(r)))
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.jobs.get(r.PathValue("id"))
+	j, ok := s.lookupJob(w, r)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
 		return
 	}
 	s.abandon(j, stateCanceled, "canceled by client")
-	writeJSON(w, http.StatusOK, s.jobDoc(j))
+	writeJSON(w, http.StatusOK, s.jobDoc(j, isV2(r)))
 }
 
 // handleJobLabels streams one variant's labels as "index,label" CSV (the
 // dataio.WriteLabelsCSV format, diffable against the CLI's output).
 func (s *Server) handleJobLabels(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.jobs.get(r.PathValue("id"))
+	j, ok := s.lookupJob(w, r)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
 		return
 	}
 	variant := 0
@@ -397,7 +496,7 @@ func (s *Server) handleJobLabels(w http.ResponseWriter, r *http.Request) {
 		var err error
 		variant, err = strconv.Atoi(v)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "bad variant %q", v)
+			s.apiErr(w, r, http.StatusBadRequest, errCodeBadRequest, "bad variant %q", v)
 			return
 		}
 	}
@@ -405,10 +504,11 @@ func (s *Server) handleJobLabels(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		state, errMsg, _, _, _ := j.view()
 		if state != stateDone {
-			writeErr(w, http.StatusConflict,
+			s.apiErr(w, r, http.StatusConflict, errCodeConflict,
 				"job %s is %s (%s); labels require state done", j.id, state, errMsg)
 		} else {
-			writeErr(w, http.StatusNotFound, "job %s has no variant %d", j.id, variant)
+			s.apiErr(w, r, http.StatusNotFound, errCodeNotFound,
+				"job %s has no variant %d", j.id, variant)
 		}
 		return
 	}
@@ -420,14 +520,13 @@ func (s *Server) handleJobLabels(w http.ResponseWriter, r *http.Request) {
 // the job: Chrome trace-event JSON by default, the plain-text timeline with
 // ?format=text. One batch means one trace — coalesced jobs share it.
 func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.jobs.get(r.PathValue("id"))
+	j, ok := s.lookupJob(w, r)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
 		return
 	}
 	chrome, text, ok := j.batch.trace()
 	if !ok {
-		writeErr(w, http.StatusConflict, "job %s has not run yet; no trace", j.id)
+		s.apiErr(w, r, http.StatusConflict, errCodeConflict, "job %s has not run yet; no trace", j.id)
 		return
 	}
 	switch f := r.URL.Query().Get("format"); f {
@@ -438,7 +537,7 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write(text) //nolint:errcheck // client gone
 	default:
-		writeErr(w, http.StatusBadRequest, "unknown trace format %q", f)
+		s.apiErr(w, r, http.StatusBadRequest, errCodeBadRequest, "unknown trace format %q", f)
 	}
 }
 

@@ -42,6 +42,9 @@ type job struct {
 	created   time.Time
 	deadline  time.Time
 
+	tenant *tenant // owner; set before admission, never changes
+	approx bool    // load-shed: served by the ρ-approximate path
+
 	batch *batch // assigned at admission, never changes
 	slots []int  // params[i] -> index into the batch's union variant list
 	tiles int    // requested tile-level parallelism (0 = server default)
@@ -56,6 +59,8 @@ type job struct {
 	started  time.Time
 	finished time.Time
 	results  []variantOutcome
+	quality  string       // "" = exact, qualityApprox = load-shed answer
+	work     vdbscan.Work // this job's metered work (its quota charge basis)
 	watchdog *time.Timer
 
 	done chan struct{}
@@ -103,6 +108,9 @@ func (j *job) finish(state, errMsg string, results []variantOutcome) bool {
 	}
 	lifetime := j.finished.Sub(j.created)
 	j.mu.Unlock()
+	if j.tenant != nil {
+		j.tenant.jobsLive.Add(-1)
+	}
 	close(j.done)
 	// The terminal SSE frame closes the job's event stream; finish is the
 	// single choke point every terminal transition (done, failed, canceled,
@@ -121,6 +129,23 @@ func (j *job) view() (state, errMsg string, started, finished time.Time, results
 	return j.state, j.err, j.started, j.finished, j.results
 }
 
+// setOutcomeMeta records the run's quality tag and the job's metered work.
+// Called by the runner just before finish, so every reader that observes
+// the terminal state also observes the metadata.
+func (j *job) setOutcomeMeta(quality string, work vdbscan.Work) {
+	j.mu.Lock()
+	j.quality = quality
+	j.work = work
+	j.mu.Unlock()
+}
+
+// outcomeMeta returns the quality tag and metered work.
+func (j *job) outcomeMeta() (string, vdbscan.Work) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.quality, j.work
+}
+
 // outcome returns the i-th variant outcome once the job is done.
 func (j *job) outcome(i int) (variantOutcome, bool) {
 	j.mu.Lock()
@@ -131,21 +156,25 @@ func (j *job) outcome(i int) (variantOutcome, bool) {
 	return j.results[i], true
 }
 
-// jobStore indexes jobs by ID.
+// jobStore indexes jobs by ID. evicted holds tombstones of TTL-reclaimed
+// jobs — id -> owning tenant — so a late GET can answer 410 Gone to the
+// owner and 404 to everyone else (eviction must not leak job IDs across
+// tenants).
 type jobStore struct {
-	mu  sync.Mutex
-	m   map[string]*job
-	seq atomic.Int64
+	mu      sync.Mutex
+	m       map[string]*job
+	evicted map[string]*tenant
+	seq     atomic.Int64
 }
 
 func newJobStore() *jobStore {
-	return &jobStore{m: map[string]*job{}}
+	return &jobStore{m: map[string]*job{}, evicted: map[string]*tenant{}}
 }
 
 // new creates a queued job with its deadline counted from now. The job is
 // NOT in the store yet: callers publish it with put only after admission
 // succeeds, so clients can never observe a job without a batch.
-func (st *jobStore) new(datasetID string, params []vdbscan.Params, timeout time.Duration) *job {
+func (st *jobStore) new(tn *tenant, datasetID string, params []vdbscan.Params, timeout time.Duration) *job {
 	now := time.Now()
 	return &job{
 		id:        fmt.Sprintf("j%d", st.seq.Add(1)),
@@ -153,6 +182,7 @@ func (st *jobStore) new(datasetID string, params []vdbscan.Params, timeout time.
 		params:    params,
 		created:   now,
 		deadline:  now.Add(timeout),
+		tenant:    tn,
 		state:     stateQueued,
 		done:      make(chan struct{}),
 		events:    newStream(),

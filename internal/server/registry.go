@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"log/slog"
 	"sort"
@@ -48,6 +49,16 @@ func (d *dataset) snapshot() (*vdbscan.Index, int, int) {
 	return d.index, len(d.points), d.version
 }
 
+// pointsSnapshot returns the installed point set (the slice is replaced
+// wholesale at re-freeze, never mutated in place, so sharing it is safe),
+// its length, and the install version. The load-shed path binds to this
+// instead of the frozen index: ρ-approximate DBSCAN builds its own grid.
+func (d *dataset) pointsSnapshot() ([]vdbscan.Point, int, int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.points, len(d.points), d.version
+}
+
 // registry is the dataset store.
 type registry struct {
 	cfg Config
@@ -66,6 +77,12 @@ type registry struct {
 	// persistOpWALReplay (WAL appends are not reported — they are
 	// per-request, and the request path already carries latency metrics).
 	onPersist func(d *dataset, op string, dur time.Duration)
+
+	// refreezeBarrier, when set (tests only), is called by refreeze after
+	// the rebuild input is captured and before the rebuild runs, off every
+	// lock. Tests block in it to hold a dataset in the refreezing state
+	// deterministically (e.g. the delete-mid-refreeze conflict test).
+	refreezeBarrier func(d *dataset)
 
 	log *slog.Logger
 }
@@ -123,18 +140,39 @@ func (g *registry) get(id string) (*dataset, bool) {
 	return d, ok
 }
 
-func (g *registry) delete(id string) bool {
+// Registry mutation errors; handlers.go maps them onto the API surface
+// (404 not_found, 409 conflict).
+var (
+	errNoDataset      = errors.New("no such dataset")
+	errRefreezing     = errors.New("dataset re-freeze in flight")
+	errDatasetDeleted = errors.New("dataset deleted")
+)
+
+// delete removes the dataset, unless a background re-freeze is installing a
+// new index for it — deleting the on-disk snapshot out from under that
+// install used to surface as a 500-class internal race; now it is an
+// explicit errRefreezing conflict the client can retry after the install.
+// Lock order is g.mu then d.mu, the same nesting loadAll uses; refreeze
+// never holds d.mu while taking g.mu, so this cannot deadlock.
+func (g *registry) delete(id string) error {
 	g.mu.Lock()
 	d, ok := g.m[id]
+	if !ok {
+		g.mu.Unlock()
+		return errNoDataset
+	}
+	d.mu.Lock()
+	if d.refreezing {
+		d.mu.Unlock()
+		g.mu.Unlock()
+		return errRefreezing
+	}
+	d.deleted = true
+	g.persistDelete(d)
+	d.mu.Unlock()
 	delete(g.m, id)
 	g.mu.Unlock()
-	if ok {
-		d.mu.Lock()
-		d.deleted = true
-		g.persistDelete(d)
-		d.mu.Unlock()
-	}
-	return ok
+	return nil
 }
 
 func (g *registry) list() []*dataset {
@@ -157,9 +195,16 @@ func (g *registry) len() int {
 // append stages points onto d and, once the staged backlog reaches the
 // re-freeze threshold, kicks a background re-freeze that rebuilds the index
 // over points+staged and installs it atomically. Returns the staged count
-// and whether a re-freeze is now in flight.
-func (g *registry) append(d *dataset, pts []vdbscan.Point, ctrs *counters) (staged int, refreezing bool) {
+// and whether a re-freeze is now in flight. An append that loses the race
+// with a concurrent delete gets errDatasetDeleted (409 conflict at the
+// API): staging points — and writing WAL records — onto a dataset whose
+// directory was just removed would silently drop them.
+func (g *registry) append(d *dataset, pts []vdbscan.Point, ctrs *counters) (staged int, refreezing bool, err error) {
 	d.mu.Lock()
+	if d.deleted {
+		d.mu.Unlock()
+		return 0, false, errDatasetDeleted
+	}
 	d.staged = append(d.staged, pts...)
 	g.walAppend(d, pts) // under d.mu: WAL record order matches d.staged
 	staged = len(d.staged)
@@ -173,7 +218,7 @@ func (g *registry) append(d *dataset, pts []vdbscan.Point, ctrs *counters) (stag
 	if kick {
 		go g.refreeze(d, ctrs)
 	}
-	return staged, refreezing
+	return staged, refreezing, nil
 }
 
 // refreeze rebuilds d's index including every point staged at the moment
@@ -188,6 +233,10 @@ func (g *registry) refreeze(d *dataset, ctrs *counters) {
 	// snapshot written after install can fold it and nothing else.
 	folded := g.rotateWAL(d)
 	d.mu.Unlock()
+
+	if g.refreezeBarrier != nil {
+		g.refreezeBarrier(d)
+	}
 
 	combined := make([]vdbscan.Point, 0, len(base)+len(add))
 	combined = append(combined, base...)

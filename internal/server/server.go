@@ -27,7 +27,15 @@
 //     job at /v1/jobs/{id}/trace; work counters and server counters are
 //     exposed at /metrics;
 //   - graceful drain: Drain stops admission, lets running and queued
-//     batches finish, and flushes pending dataset re-freezes.
+//     batches finish, and flushes pending dataset re-freezes;
+//   - multi-tenancy: optional API-key auth resolves every request to a
+//     tenant carrying token-bucket rate limits, a concurrent-jobs cap, and
+//     a work-metered quota ledger charged by each finished job's ε-search
+//     work (GET /v2/tenants/self); finished results are TTL-evicted (410
+//     Gone afterwards); and under queue pressure, opted-in tenants are
+//     served ρ-approximate answers tagged "quality":"approx". The routes
+//     exist under /v1 (legacy error bodies, byte-compatible) and /v2 (the
+//     versioned error envelope and tenant-aware documents).
 package server
 
 import (
@@ -53,6 +61,14 @@ const (
 	DefaultRunners         = 2
 	DefaultRefreezePoints  = 4096
 	DefaultMaxLongPollWait = 60 * time.Second
+	// DefaultJobTTL is how long a finished job's results stay retrievable
+	// before the eviction sweeper reclaims them (Config.JobTTL < 0 keeps
+	// them forever, the pre-eviction behavior).
+	DefaultJobTTL = 15 * time.Minute
+	// DefaultShedRho is the ρ-approximation slack used by load-shed runs
+	// when Config.ShedRho is zero: answers may merge clusters up to
+	// ε·(1+ρ) apart.
+	DefaultShedRho = 0.5
 )
 
 // Config parameterizes a Server. The zero value is usable: every field
@@ -109,6 +125,28 @@ type Config struct {
 	// without re-freezing anything. Corrupt or torn files are skipped
 	// with a log line, never fatal. Empty keeps the registry memory-only.
 	DataDir string
+	// Tenants configures API-key multi-tenancy. Empty leaves the server
+	// open: every caller is the anonymous tenant with no limits, exactly
+	// the pre-tenancy behavior. Non-empty requires every /v1 and /v2
+	// data-plane request to present a configured key (401 otherwise) and
+	// applies each tenant's rate, concurrency, and work-quota limits.
+	// Invalid configurations (empty/duplicate ids or keys, negative
+	// limits) make New panic; load files through ParseKeysJSON to get an
+	// error instead.
+	Tenants []TenantConfig
+	// JobTTL is how long a finished job's results (document, labels,
+	// trace) stay retrievable. After it, the eviction sweeper reclaims
+	// the job and GETs return 410 Gone. Zero uses DefaultJobTTL; negative
+	// disables eviction (results live forever, the pre-TTL behavior).
+	JobTTL time.Duration
+	// ShedThreshold is the queue depth at which load shedding engages:
+	// submissions from approx-opted-in tenants are answered by
+	// ρ-approximate DBSCAN (tagged "quality":"approx") instead of joining
+	// the exact backlog. Zero disables shedding.
+	ShedThreshold int
+	// ShedRho is the ρ slack of shed runs, in (0, 1]. Zero uses
+	// DefaultShedRho.
+	ShedRho float64
 }
 
 func (c Config) withDefaults() Config {
@@ -129,6 +167,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RefreezePoints <= 0 {
 		c.RefreezePoints = DefaultRefreezePoints
+	}
+	if c.JobTTL == 0 {
+		c.JobTTL = DefaultJobTTL
+	}
+	if c.ShedRho <= 0 || c.ShedRho > 1 {
+		c.ShedRho = DefaultShedRho
 	}
 	return c
 }
@@ -169,6 +213,9 @@ type Server struct {
 	draining atomic.Bool
 	closed   atomic.Bool
 
+	tenants   *tenantSet    // API-key auth + per-tenant limits and ledgers
+	sweepStop chan struct{} // stops the TTL eviction sweeper; nil when disabled
+
 	ctrs counters
 
 	workMu sync.Mutex
@@ -185,6 +232,13 @@ type Server struct {
 // ready to serve. Callers own shutdown via Drain and/or Close.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	tenants, err := newTenantSet(cfg.Tenants)
+	if err != nil {
+		// Programmer error, same class as a malformed mux pattern: a server
+		// that silently dropped a misconfigured tenant would run open where
+		// the operator asked for auth.
+		panic("server: invalid Config.Tenants: " + err.Error())
+	}
 	s := &Server{
 		cfg:      cfg,
 		registry: newRegistry(cfg),
@@ -192,8 +246,9 @@ func New(cfg Config) *Server {
 		open:     map[string]*batch{},
 		// A batch holds ≥1 job and jobs are bounded by QueueDepth, so the
 		// channel can always absorb every sealed batch without blocking.
-		runCh: make(chan *batch, cfg.QueueDepth+1),
-		start: time.Now(),
+		runCh:   make(chan *batch, cfg.QueueDepth+1),
+		tenants: tenants,
+		start:   time.Now(),
 	}
 	s.mx = newServerMetrics(s)
 	s.log = cfg.Logger
@@ -222,6 +277,10 @@ func New(cfg Config) *Server {
 	// Restore persisted datasets before the runners start, so the first
 	// admitted job already sees the warm registry.
 	s.registry.loadAll()
+	if cfg.JobTTL > 0 {
+		s.sweepStop = make(chan struct{})
+		go s.sweepEvictions(cfg.JobTTL)
+	}
 	for i := 0; i < cfg.Runners; i++ {
 		go s.runner()
 	}
@@ -250,16 +309,28 @@ func (s *Server) admit(j *job) error {
 	}
 	s.queued++
 	s.ctrs.jobsAccepted.Add(1)
+	if j.tenant != nil {
+		// Counted down by finish; the pair makes jobsLive the tenant's
+		// queued-or-running gauge that the concurrency cap reads.
+		j.tenant.jobsLive.Add(1)
+	}
 	// The queued frame goes out before batch assignment so subscribers see
 	// queued -> batched in order even when the batch seals synchronously.
 	j.events.publish(evQueued, queuedFrame{
 		Job: j.id, Dataset: j.datasetID, Variants: len(j.params), Queued: s.queued,
 	}, true, false)
 
-	b := s.open[j.datasetID]
+	var b *batch
+	if !j.approx {
+		b = s.open[j.datasetID]
+	}
 	if b == nil {
 		b = newBatch(s.nextBatchID(), j.datasetID)
-		if s.cfg.BatchWindow > 0 {
+		b.approx = j.approx
+		// A shed job never coalesces: its batch seals immediately below, so
+		// an exact job arriving inside the window cannot be downgraded by
+		// sharing a run with it (and vice versa).
+		if !j.approx && s.cfg.BatchWindow > 0 {
 			s.open[j.datasetID] = b
 			b.timer = time.AfterFunc(s.cfg.BatchWindow, func() { s.seal(b) })
 		}
@@ -275,8 +346,9 @@ func (s *Server) admit(j *job) error {
 	j.events.publish(evBatched, batchedFrame{
 		Job: j.id, Batch: b.id, BatchJobs: n, BatchVariants: union,
 	}, true, false)
-	if s.cfg.BatchWindow <= 0 {
-		// Coalescing disabled: the batch seals with its single job.
+	if j.approx || s.cfg.BatchWindow <= 0 {
+		// Coalescing disabled (or a shed job): the batch seals with its
+		// single job.
 		s.sealLocked(b)
 	}
 	return nil
@@ -385,28 +457,48 @@ func (s *Server) Drain(ctx context.Context) error {
 func (s *Server) Close() {
 	if s.closed.CompareAndSwap(false, true) {
 		close(s.runCh)
+		if s.sweepStop != nil {
+			close(s.sweepStop)
+		}
 	}
 }
 
 // Draining reports whether the server has stopped admitting work.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Handler returns the service's HTTP routes.
+// Handler returns the service's HTTP routes. Every data-plane route is
+// mounted twice: under /v1 (the original surface, error bodies and
+// documents byte-compatible with the first release, pinned by goldens) and
+// under /v2 (the multi-tenant surface: versioned error envelope, tenant and
+// work fields in job documents, plus the /v2-only tenant routes). One
+// handler serves both — response rendering branches on the prefix — so the
+// surfaces can never drift apart behaviorally.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/datasets", s.handleDatasetUpload)
-	mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
-	mux.HandleFunc("GET /v1/datasets/{id}", s.handleDatasetGet)
-	mux.HandleFunc("DELETE /v1/datasets/{id}", s.handleDatasetDelete)
-	mux.HandleFunc("POST /v1/datasets/{id}/points", s.handleDatasetAppend)
-	mux.HandleFunc("POST /v1/datasets/{id}/jobs", s.handleJobSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
-	mux.HandleFunc("GET /v1/jobs/{id}/labels", s.handleJobLabels)
-	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	routes := []struct {
+		method, path string
+		h            http.HandlerFunc
+	}{
+		{"POST", "/datasets", s.handleDatasetUpload},
+		{"GET", "/datasets", s.handleDatasetList},
+		{"GET", "/datasets/{id}", s.handleDatasetGet},
+		{"DELETE", "/datasets/{id}", s.handleDatasetDelete},
+		{"POST", "/datasets/{id}/points", s.handleDatasetAppend},
+		{"POST", "/datasets/{id}/jobs", s.handleJobSubmit},
+		{"GET", "/jobs", s.handleJobList},
+		{"GET", "/jobs/{id}", s.handleJobGet},
+		{"DELETE", "/jobs/{id}", s.handleJobCancel},
+		{"GET", "/jobs/{id}/labels", s.handleJobLabels},
+		{"GET", "/jobs/{id}/trace", s.handleJobTrace},
+		{"GET", "/jobs/{id}/events", s.handleJobEvents},
+	}
+	for _, version := range []string{"/v1", "/v2"} {
+		for _, rt := range routes {
+			mux.HandleFunc(rt.method+" "+version+rt.path, rt.h)
+		}
+	}
+	mux.HandleFunc("GET /v2/tenants/self", s.handleTenantSelf)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return s.withRequestID(mux)
+	return s.withRequestID(s.withAuth(mux))
 }
